@@ -1,0 +1,18 @@
+"""Design ablation bench: equal-width vs equal-mass SL bins."""
+
+from repro.experiments import ablation_binning
+from repro.experiments.ablation_binning import compare
+
+
+def test_ablation_binning(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        ablation_binning.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        outcome = compare(network, scale)
+        # Both binning schemes project accurately at the same k; the
+        # ablation documents that the paper's equal-width choice is not
+        # load-bearing.
+        assert outcome["equal_width"] < 3.0
+        assert outcome["equal_mass"] < 3.0

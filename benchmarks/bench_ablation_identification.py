@@ -1,0 +1,19 @@
+"""Architecture-independence bench: identification config ablation."""
+
+from repro.experiments import ablation_identification
+from repro.experiments.ablation_identification import identification_config_errors
+
+
+def test_ablation_identification(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        ablation_identification.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        errors = identification_config_errors(network, scale)
+        # Identifying on any config transfers: all geomeans stay small
+        # and close to the config #1 choice the paper makes.  Bounds
+        # tighten at full corpus scale where noise floors are lower.
+        limit, spread = (3.0, 2.0) if scale >= 0.5 else (6.0, 4.0)
+        assert max(errors.values()) < limit
+        assert max(errors.values()) - min(errors.values()) < spread

@@ -1,0 +1,17 @@
+"""§VII-C ablation bench: SL binning vs k-means over profiles."""
+
+from repro.experiments import ablation_kmeans
+from repro.experiments.ablation_kmeans import compare
+
+
+def test_ablation_kmeans(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        ablation_kmeans.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        outcome = compare(network, scale)
+        # Paper finding: simple binning performs as well as k-means —
+        # i.e. within the same accuracy class (both small errors).
+        assert outcome["seqpoint"] < 3.0
+        assert outcome["kmeans"] < 6.0

@@ -1,0 +1,18 @@
+"""Design ablation bench: bin-representative selection strategies."""
+
+from repro.experiments import ablation_representative
+from repro.experiments.ablation_representative import compare
+
+
+def test_ablation_representative(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        ablation_representative.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        outcome = compare(network, scale)
+        # The paper's closest-to-bin-average choice is accurate; the
+        # comparative claim needs full-size bins to be stable.
+        assert outcome["closest-mean"] < 3.0
+        if scale >= 0.5:
+            assert outcome["closest-mean"] <= outcome["median-sl"] * 1.5 + 0.5

@@ -1,0 +1,16 @@
+"""§V-C bench: counter statistics project from runtime-picked SeqPoints."""
+
+from repro.experiments import counter_projection
+from repro.experiments.counter_projection import counter_errors
+
+
+def test_counter_projection(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        counter_projection.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        errors = counter_errors(network, scale)
+        # Runtime-identified points also summarise the counter totals:
+        # all three project within a few percent.
+        assert max(errors.values()) < 6.0

@@ -1,0 +1,15 @@
+"""Fig 3 bench: CNN iterations homogeneous, SQNN iterations heterogeneous."""
+
+from repro.experiments import fig03
+
+
+def test_fig03_cnn_vs_rnn(benchmark, scale, emit):
+    result = benchmark.pedantic(fig03.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    cnn = [float(v) for v in result.column("cnn")]
+    rnn = [float(v) for v in result.column("rnn")]
+    cnn_spread = max(cnn) - min(cnn)
+    rnn_spread = max(rnn) - min(rnn)
+    # Paper shape: CNN flat, RNN varies visibly across iterations.
+    assert cnn_spread < 1e-9
+    assert rnn_spread > 0.10

@@ -1,0 +1,14 @@
+"""Fig 5 bench: kernel sets differ across sequence lengths."""
+
+from repro.experiments import fig05
+
+
+def test_fig05_unique_kernels(benchmark, scale, emit):
+    result = benchmark.pedantic(fig05.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    exclusive = [float(str(row[5]).rstrip("%")) / 100 for row in result.rows]
+    # Paper shape: a meaningful fraction of unique kernels appears in
+    # only one of the two iterations (they report up to ~20%).
+    assert max(exclusive) > 0.10
+    # And every pair still shares the bulk of its kernels.
+    assert all(e < 0.5 for e in exclusive)

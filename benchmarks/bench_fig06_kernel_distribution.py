@@ -1,0 +1,16 @@
+"""Fig 6 bench: kernel runtime distribution differs with sequence length."""
+
+from repro.experiments import fig06
+
+
+def test_fig06_kernel_distribution(benchmark, scale, emit):
+    result = benchmark.pedantic(fig06.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        shares = [float(v) for v in row[3:]]
+        # Shares are a distribution over groups (rows round to 4dp).
+        assert abs(sum(shares) - 1.0) < 1e-3
+    # GEMM groups dominate both networks, as in the paper's charts.
+    for row in result.rows:
+        gemm1, gemm2 = float(row[3]), float(row[4])
+        assert gemm1 + gemm2 > 0.5

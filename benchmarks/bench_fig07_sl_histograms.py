@@ -1,0 +1,18 @@
+"""Fig 7 bench: sequence-length histograms and unique-SL space size."""
+
+from repro.experiments import fig07
+from repro.experiments.fig07 import unique_sl_fraction
+
+
+def test_fig07_sl_histograms(benchmark, scale, emit):
+    result = benchmark.pedantic(fig07.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    networks = {row[0] for row in result.rows}
+    assert networks == {"ds2", "gnmt"}
+    # Paper §V-A: DS2's unique-SL space is a large fraction of the epoch
+    # (up to ~half); GNMT's is much smaller relative to its epoch.
+    ds2_fraction = unique_sl_fraction("ds2", scale)
+    gnmt_fraction = unique_sl_fraction("gnmt", scale)
+    assert gnmt_fraction < ds2_fraction
+    if scale >= 0.5:  # the absolute fraction needs the full corpus
+        assert 0.2 < ds2_fraction <= 0.6

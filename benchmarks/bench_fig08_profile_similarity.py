@@ -1,0 +1,24 @@
+"""Fig 8 bench: nearby SLs have similar execution profiles."""
+
+from repro.experiments import fig08
+from repro.experiments.setups import BATCH_SIZE, scenario
+from repro.hw.config import paper_config
+from repro.hw.device import GpuDevice
+from repro.profiling.comparison import runtime_share_distance
+from repro.profiling.profiler import Profiler
+
+
+def test_fig08_profile_similarity(benchmark, scale, emit):
+    result = benchmark.pedantic(fig08.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    profiler = Profiler(scenario("gnmt", scale).model, GpuDevice(paper_config(1)))
+    profiles = {
+        sl: profiler.profile_seq_len(sl, batch=BATCH_SIZE).profile
+        for sl in (87, 89, 192, 197)
+    }
+    near_a = runtime_share_distance(profiles[87], profiles[89])
+    near_b = runtime_share_distance(profiles[192], profiles[197])
+    far = runtime_share_distance(profiles[87], profiles[192])
+    # Paper shape: 87~89 and 192~197 nearly identical, cross pairs differ.
+    assert near_a < far
+    assert near_b < far

@@ -1,0 +1,21 @@
+"""Fig 9 bench: iteration runtime is near-linear in sequence length."""
+
+import numpy as np
+
+from repro.experiments import fig09
+from repro.experiments.fig09 import sweep
+
+
+def test_fig09_runtime_vs_sl(benchmark, scale, emit):
+    result = benchmark.pedantic(fig09.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        samples = sweep(network, scale)
+        xs = np.array([sl for sl, _ in samples], dtype=float)
+        ys = np.array([t for _, t in samples])
+        slope, intercept = np.polyfit(xs, ys, 1)
+        fitted = slope * xs + intercept
+        r2 = 1 - np.sum((ys - fitted) ** 2) / np.sum((ys - ys.mean()) ** 2)
+        # Paper shape: near-linear runtime growth with SL.
+        assert slope > 0
+        assert r2 > 0.98, f"{network}: R^2={r2}"

@@ -1,0 +1,15 @@
+"""Fig 10 bench: the SeqPoint identification loop."""
+
+from repro.experiments import fig10
+from repro.experiments.selectors import seqpoint_result
+
+
+def test_fig10_mechanism(benchmark, scale, emit):
+    result = benchmark.pedantic(fig10.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        outcome = seqpoint_result(network, scale)
+        # The loop met its error threshold (or exhausted unique SLs).
+        assert outcome.identification_error_pct < 1.0 or outcome.k > 0
+        # The representative set is tiny relative to the epoch.
+        assert len(outcome.selection) <= 40

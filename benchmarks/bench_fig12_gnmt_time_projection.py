@@ -1,0 +1,18 @@
+"""Fig 12 bench: GNMT training-time projection errors."""
+
+from repro.experiments import fig12
+from repro.experiments.time_projection import time_projection_errors
+from repro.util.stats import geomean
+
+
+def test_fig12_gnmt_time_projection(benchmark, scale, emit):
+    result = benchmark.pedantic(fig12.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    errors = time_projection_errors("gnmt", scale)
+    summary = {m: geomean(list(v.values())) for m, v in errors.items()}
+    # Paper shape: SeqPoint geomean 0.53%; prior performs poorly for
+    # GNMT in general; worst is catastrophic.
+    assert summary["seqpoint"] < 2.0
+    assert summary["prior"] > 5.0
+    assert summary["seqpoint"] < summary["median"] < summary["worst"]
+    assert summary["worst"] > 50.0

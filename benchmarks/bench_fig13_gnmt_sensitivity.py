@@ -1,0 +1,19 @@
+"""Fig 13 bench: GNMT per-SL sensitivity to the hardware knobs."""
+
+from repro.experiments import fig13
+from repro.experiments.sensitivity import sensitivity_curves
+
+
+def test_fig13_gnmt_sensitivity(benchmark, scale, emit):
+    result = benchmark.pedantic(fig13.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    curves = sensitivity_curves("gnmt", scale)
+    for config_index, curve in curves.items():
+        uplifts = [u for _, u in curve]
+        # Paper shape: sensitivity varies meaningfully across SLs...
+        spread = max(uplifts) - min(uplifts)
+        assert spread > 0.5, f"config {config_index} flat: {uplifts}"
+        # ...rising from short sequences toward a plateau.
+        assert uplifts[0] < max(uplifts)
+    # Clock and CU bands sit far above the cache bands, as in the paper.
+    assert min(u for _, u in curves[3]) > max(u for _, u in curves[5])

@@ -1,0 +1,20 @@
+"""Fig 14 bench: DS2 per-SL sensitivity to the hardware knobs."""
+
+from repro.experiments import fig14
+from repro.experiments.sensitivity import sensitivity_curves
+
+
+def test_fig14_ds2_sensitivity(benchmark, scale, emit):
+    result = benchmark.pedantic(fig14.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    curves = sensitivity_curves("ds2", scale)
+    for config_index, curve in curves.items():
+        uplifts = [u for _, u in curve]
+        assert max(uplifts) - min(uplifts) > 0.3, f"config {config_index} flat"
+        # Paper shape: short sequences are less sensitive (region below
+        # the O2 plateau), so the curve rises with SL.
+        assert uplifts[0] == min(uplifts)
+    # The plateau exists: the upper half of the SL range is nearly flat.
+    for curve in curves.values():
+        upper = [u for _, u in curve[len(curve) // 2:]]
+        assert (max(upper) - min(upper)) / max(upper) < 0.05

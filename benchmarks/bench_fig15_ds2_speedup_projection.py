@@ -1,0 +1,24 @@
+"""Fig 15 bench: DS2 speedup-projection errors."""
+
+from repro.experiments import fig15
+from repro.experiments.speedup_projection import speedup_projection_errors
+from repro.util.stats import geomean
+
+
+def test_fig15_ds2_speedup_projection(benchmark, scale, emit):
+    result = benchmark.pedantic(fig15.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    errors, actuals = speedup_projection_errors("ds2", scale)
+    summary = {m: geomean(list(v.values())) for m, v in errors.items()}
+    # Paper shape: SeqPoint projects speedups within a fraction of a
+    # percentage point; worst bounds arbitrary selection.
+    assert summary["seqpoint"] < 1.0
+    assert summary["seqpoint"] < summary["worst"]
+    assert summary["worst"] > 1.0
+    if scale >= 0.5:
+        assert summary["seqpoint"] <= min(
+            summary["frequent"], summary["prior"], summary["worst"]
+        )
+    # The studied uplifts are substantial (clock ~60%+, CUs ~100%+).
+    assert actuals[2] > 40.0
+    assert actuals[3] > 80.0

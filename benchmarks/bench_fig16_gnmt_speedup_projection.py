@@ -1,0 +1,19 @@
+"""Fig 16 bench: GNMT speedup-projection errors."""
+
+from repro.experiments import fig16
+from repro.experiments.speedup_projection import speedup_projection_errors
+from repro.util.stats import geomean
+
+
+def test_fig16_gnmt_speedup_projection(benchmark, scale, emit):
+    result = benchmark.pedantic(fig16.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    errors, _ = speedup_projection_errors("gnmt", scale)
+    summary = {m: geomean(list(v.values())) for m, v in errors.items()}
+    # Paper shape: SeqPoint outperforms all alternatives (geomean 1.50%);
+    # with GNMT's more uniform SL distribution, frequent/median errors
+    # are larger than for DS2.
+    assert summary["seqpoint"] < 1.5
+    if scale >= 0.5:
+        assert summary["seqpoint"] <= min(summary[m] for m in summary)
+        assert summary["prior"] > summary["seqpoint"]

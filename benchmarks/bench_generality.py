@@ -1,0 +1,17 @@
+"""§VII-B bench: SeqPoint on Transformer and ConvS2S models."""
+
+from repro.experiments import generality
+from repro.experiments.generality import generality_outcome
+
+
+def test_generality(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        generality.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("transformer", "convs2s"):
+        outcome = generality_outcome(network, scale)
+        # The pipeline identifies a compact set and projects across
+        # hardware within a few percent for both non-RNN families.
+        assert outcome["seqpoints"] <= 40
+        assert outcome["config3_error_pct"] < 5.0

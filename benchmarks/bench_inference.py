@@ -1,0 +1,16 @@
+"""§VII-E bench: SeqPoint on inference request streams."""
+
+from repro.experiments import inference
+from repro.experiments.inference import inference_outcome
+
+
+def test_inference(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        inference.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        outcome = inference_outcome(network, scale)
+        assert outcome["seqpoints"] <= outcome["requests"]
+        if scale >= 0.5:  # small request sets are all-unique corner cases
+            assert outcome["config3_error_pct"] < 5.0

@@ -1,0 +1,20 @@
+"""§V-A bench: the naive all-unique-SLs set vs SeqPoint."""
+
+from repro.experiments import naive_all_sls
+from repro.experiments.naive_all_sls import compare
+
+
+def test_naive_all_sls(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        naive_all_sls.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("gnmt", "ds2"):
+        outcome = compare(network, scale)
+        # The naive set is accurate but large; SeqPoint keeps accuracy
+        # with far fewer iterations (the whole point of binning).
+        assert outcome["naive"]["iterations"] > 4 * outcome["seqpoint"]["iterations"]
+        assert outcome["seqpoint"]["geomean_error_pct"] < 2.5
+    ds2 = compare("ds2", scale)
+    # Paper §V-A: DS2's naive set is a large fraction of the epoch.
+    assert ds2["naive"]["fraction_of_epoch"] > 0.2

@@ -1,0 +1,18 @@
+"""§VI-F bench: profiling-time reductions from SeqPoint."""
+
+from repro.experiments import profiling_speedups
+from repro.experiments.profiling_speedups import speedups_for
+
+
+def test_profiling_speedups(benchmark, scale, emit):
+    result = benchmark.pedantic(
+        profiling_speedups.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(result)
+    for network in ("ds2", "gnmt"):
+        outcome = speedups_for(network, scale)
+        # Paper shape: one-to-two orders of magnitude serially (40-72x),
+        # more in parallel (214-345x).  At reduced corpus scale the
+        # ratios shrink with the epoch, so assert the magnitude only.
+        assert outcome.serial_speedup > 5.0
+        assert outcome.parallel_speedup > outcome.serial_speedup

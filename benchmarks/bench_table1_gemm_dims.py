@@ -1,0 +1,17 @@
+"""Table I bench: classifier GEMM dims across iterations match the paper."""
+
+from repro.experiments import table1
+
+
+def test_table1_gemm_dims(benchmark, scale, emit):
+    result = benchmark.pedantic(table1.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    # GNMT classifier forward: M = vocab 36549, K = hidden 1024.
+    assert by_key[("gnmt", "GEMM-a")][2:4] == [36549, 1024]
+    assert by_key[("gnmt", "GEMM-b")][2:4] == [1024, 36549]
+    # DS2 classifier forward: M = alphabet 29, K = 2x800 GRU features.
+    assert by_key[("ds2", "GEMM-a")][2:4] == [29, 1600]
+    # Paper's exact N values at the chosen sequence lengths.
+    assert by_key[("gnmt", "GEMM-a")][4:] == [576, 6016]
+    assert by_key[("ds2", "GEMM-a")][4:] == [3776, 25728]

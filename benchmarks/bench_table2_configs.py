@@ -1,0 +1,18 @@
+"""Table II bench: the five evaluated hardware configurations."""
+
+from repro.experiments import table2
+from repro.hw.config import PAPER_CONFIGS
+from repro.util.units import GHZ, KIB, MHZ, MIB
+
+
+def test_table2_configs(benchmark, scale, emit):
+    result = benchmark.pedantic(table2.run, args=(scale,), rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 5
+    assert PAPER_CONFIGS[1].gclk_hz == 1.6 * GHZ
+    assert PAPER_CONFIGS[2].gclk_hz == 852 * MHZ
+    assert PAPER_CONFIGS[3].num_cus == 16
+    assert PAPER_CONFIGS[4].l1_bytes == 0
+    assert PAPER_CONFIGS[5].l2_bytes == 0
+    assert PAPER_CONFIGS[1].l1_bytes == 16 * KIB
+    assert PAPER_CONFIGS[1].l2_bytes == 4 * MIB

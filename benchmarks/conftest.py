@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every paper table/figure at a reduced corpus
+scale by default so the whole suite runs in minutes.  Set
+``REPRO_BENCH_SCALE=1.0`` for the paper-sized corpora (the numbers
+quoted in EXPERIMENTS.md).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to also print every
+regenerated table — that is the harness reproducing the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Default scale keeps a full benchmark run quick; EXPERIMENTS.md is
+#: generated at 1.0.
+DEFAULT_SCALE = 0.10
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an experiment's table once per session."""
+    printed: set[str] = set()
+
+    def _emit(result) -> None:
+        if result.experiment_id not in printed:
+            printed.add(result.experiment_id)
+            print()
+            print(result.render())
+
+    return _emit

@@ -1,0 +1,62 @@
+"""Quickstart: identify SeqPoints for GNMT and project across hardware.
+
+The complete paper workflow in ~40 lines:
+
+1. simulate one training epoch of GNMT on the baseline GPU (config #1),
+   logging each iteration's sequence length and runtime;
+2. identify SeqPoints (paper Fig 10);
+3. re-run ONLY those iterations on a different hardware configuration
+   and project the full epoch's training time there;
+4. compare against the ground-truth epoch on that configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GpuDevice,
+    PooledBucketing,
+    SeqPointSelector,
+    TrainingRunSimulator,
+    build_gnmt,
+    build_iwslt,
+    paper_config,
+    project_epoch_time,
+)
+from repro.util.units import format_duration
+
+BATCH_SIZE = 64
+
+# A reduced IWSLT'15-like corpus keeps the demo to a few seconds.
+model = build_gnmt()
+corpus = build_iwslt(sentences=12_000)
+
+# 1. One identification epoch on the baseline configuration.
+baseline = TrainingRunSimulator(
+    model, corpus, PooledBucketing(BATCH_SIZE), GpuDevice(paper_config(1))
+)
+trace = baseline.run_epoch(include_eval=False)
+print(f"epoch: {len(trace)} iterations, "
+      f"{len(trace.unique_seq_lens())} unique sequence lengths, "
+      f"total {format_duration(trace.total_time_s)}")
+
+# 2. Identify SeqPoints.
+result = SeqPointSelector().select(trace)
+print(f"SeqPoints ({len(result.selection)} iterations, k={result.k} bins, "
+      f"identification error {result.identification_error_pct:.2f}%):")
+for point in result.seqpoints:
+    print(f"  SL {point.seq_len:>4}  weight {point.weight:>6.0f} iterations")
+
+# 3. Project the epoch time on config #3 (16 CUs instead of 64) by
+#    executing only the SeqPoint iterations there.
+other = TrainingRunSimulator(
+    model, corpus, PooledBucketing(BATCH_SIZE), GpuDevice(paper_config(3))
+)
+projected = project_epoch_time(result.selection, other)
+
+# 4. Ground truth: the full epoch on config #3.
+actual = other.run_epoch(include_eval=False).total_time_s
+error = abs(projected - actual) / actual * 100
+print(f"\nconfig #3 projection: {format_duration(projected)} "
+      f"(actual {format_duration(actual)}, error {error:.2f}%)")
+print(f"iterations executed for the projection: "
+      f"{result.selection.iterations_to_profile} of {len(trace)}")

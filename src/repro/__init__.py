@@ -1,0 +1,109 @@
+"""SeqPoint reproduction: representative iterations of sequence-based
+neural networks (Pati et al., ISPASS 2020), on a simulated GPU substrate.
+
+Public API tour
+---------------
+
+Hardware (paper Table II)::
+
+    from repro import GpuDevice, paper_config
+    device = GpuDevice(paper_config(1))
+
+Networks and data (paper §VI-B)::
+
+    from repro import build_gnmt, build_iwslt, PooledBucketing
+    model, corpus = build_gnmt(), build_iwslt()
+
+Simulate an epoch and identify SeqPoints (paper Fig 10)::
+
+    from repro import TrainingRunSimulator, SeqPointSelector
+    runner = TrainingRunSimulator(model, corpus, PooledBucketing(64), device)
+    trace = runner.run_epoch()
+    result = SeqPointSelector().select(trace)
+
+Project behaviour on other hardware (paper Figs 11-16)::
+
+    from repro import project_epoch_time
+    other = TrainingRunSimulator(model, corpus, PooledBucketing(64),
+                                 GpuDevice(paper_config(3)))
+    predicted = project_epoch_time(result.selection, other)
+"""
+
+from repro.core import (
+    FrequentSelector,
+    KMeansSelector,
+    MedianSelector,
+    PriorSelector,
+    Selection,
+    SeqPointResult,
+    SeqPointSelector,
+    SlStatistics,
+    WorstSelector,
+    project_epoch_time,
+    project_throughput,
+    project_total,
+    project_uplift_pct,
+    uplift_pct,
+)
+from repro.data import (
+    PooledBucketing,
+    ShuffledBatching,
+    SortedBatching,
+    build_iwslt,
+    build_librispeech,
+)
+from repro.hw import GpuDevice, HardwareConfig, PAPER_CONFIGS, paper_config
+from repro.models import (
+    IterationInputs,
+    build_cnn,
+    build_convs2s,
+    build_ds2,
+    build_gnmt,
+    build_transformer,
+)
+from repro.profiling import Profiler, ProfilingCostModel
+from repro.profiling.export import export_selection, load_manifest
+from repro.train import TrainingRunSimulator, TrainingTrace
+from repro.train.inference import InferenceRunSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FrequentSelector",
+    "KMeansSelector",
+    "MedianSelector",
+    "PriorSelector",
+    "Selection",
+    "SeqPointResult",
+    "SeqPointSelector",
+    "SlStatistics",
+    "WorstSelector",
+    "project_epoch_time",
+    "project_throughput",
+    "project_total",
+    "project_uplift_pct",
+    "uplift_pct",
+    "PooledBucketing",
+    "ShuffledBatching",
+    "SortedBatching",
+    "build_iwslt",
+    "build_librispeech",
+    "GpuDevice",
+    "HardwareConfig",
+    "PAPER_CONFIGS",
+    "paper_config",
+    "IterationInputs",
+    "build_cnn",
+    "build_convs2s",
+    "build_ds2",
+    "build_gnmt",
+    "build_transformer",
+    "Profiler",
+    "ProfilingCostModel",
+    "export_selection",
+    "load_manifest",
+    "TrainingRunSimulator",
+    "TrainingTrace",
+    "InferenceRunSimulator",
+    "__version__",
+]

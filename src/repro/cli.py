@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+``python -m repro configs``
+    Print the Table II hardware configurations.
+
+``python -m repro identify --network gnmt [--scale 0.1] [--threshold 1.0]``
+    Simulate an identification epoch and print the SeqPoints.
+
+``python -m repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
+    Regenerate paper tables/figures (all by default) and print (or
+    write) the result tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.seqpoint import SeqPointSelector
+from repro.experiments import registry
+from repro.experiments.setups import NETWORKS, epoch_trace
+from repro.hw.config import PAPER_CONFIGS
+from repro.util.units import format_duration
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SeqPoint (ISPASS 2020) reproduction harness",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("configs", help="list the Table II hardware configs")
+
+    identify = commands.add_parser(
+        "identify", help="identify SeqPoints for a network"
+    )
+    identify.add_argument("--network", choices=NETWORKS, required=True)
+    identify.add_argument(
+        "--scale", type=float, default=0.1,
+        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
+    )
+    identify.add_argument(
+        "--threshold", type=float, default=1.0,
+        help="identification error threshold e, percent (default 1.0)",
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate paper tables and figures"
+    )
+    experiments.add_argument(
+        "--scale", type=float, default=0.1,
+        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
+    )
+    experiments.add_argument(
+        "--ids", default=None,
+        help="comma-separated experiment ids (default: all)",
+    )
+    experiments.add_argument(
+        "--output", default=None, help="write tables to this file instead of stdout"
+    )
+    return parser
+
+
+def _cmd_configs() -> int:
+    for config in PAPER_CONFIGS.values():
+        print(config.describe())
+    return 0
+
+
+def _cmd_identify(network: str, scale: float, threshold: float) -> int:
+    trace = epoch_trace(network, 1, scale)
+    result = SeqPointSelector(error_threshold_pct=threshold).select(trace)
+    print(
+        f"{network}: {len(trace)} iterations, "
+        f"{len(trace.unique_seq_lens())} unique SLs, "
+        f"epoch {format_duration(trace.total_time_s)}"
+    )
+    print(
+        f"SeqPoints: {len(result.selection)} (k={result.k}, "
+        f"identification error {result.identification_error_pct:.3f}%)"
+    )
+    for point in result.seqpoints:
+        print(
+            f"  SL {point.seq_len:>5}  weight {point.weight:>8.0f}  "
+            f"runtime {format_duration(point.record.time_s)}"
+        )
+    return 0
+
+
+def _cmd_experiments(scale: float, ids: str | None, output: str | None) -> int:
+    available = registry()
+    if ids is None:
+        chosen = list(available)
+    else:
+        chosen = [token.strip() for token in ids.split(",") if token.strip()]
+        unknown = [token for token in chosen if token not in available]
+        if unknown:
+            print(
+                f"unknown experiment ids: {', '.join(unknown)}; "
+                f"available: {', '.join(available)}",
+                file=sys.stderr,
+            )
+            return 2
+    tables = []
+    for experiment_id in chosen:
+        tables.append(available[experiment_id](scale).render())
+    text = "\n\n".join(tables) + "\n"
+    if output is None:
+        print(text, end="")
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(chosen)} experiment tables to {output}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "configs":
+        return _cmd_configs()
+    if args.command == "identify":
+        return _cmd_identify(args.network, args.scale, args.threshold)
+    return _cmd_experiments(args.scale, args.ids, args.output)

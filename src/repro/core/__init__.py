@@ -1,0 +1,51 @@
+"""SeqPoint: representative-iteration selection for SQNNs (paper §V).
+
+Pipeline (paper Fig 10): per-SL statistics from one logged epoch →
+contiguous SL binning → per-bin representative whose runtime is closest
+to the bin average → bin-size weights → weighted-sum projection, with
+the bin count ``k`` grown until the identification error meets the
+user's threshold.  Baselines (``frequent``/``median``/``worst``/
+``prior``) and the k-means alternative of §VII-C live alongside.
+"""
+
+from repro.core.baselines import (
+    FrequentSelector,
+    MedianSelector,
+    PriorSelector,
+    WorstSelector,
+)
+from repro.core.binning import Bin, bin_stats
+from repro.core.kmeans import KMeansSelector
+from repro.core.projection import (
+    project_average,
+    project_epoch_time,
+    project_throughput,
+    project_total,
+    project_uplift_pct,
+    uplift_pct,
+)
+from repro.core.selection import SelectedPoint, Selection
+from repro.core.seqpoint import SeqPointResult, SeqPointSelector
+from repro.core.sl_stats import SlStat, SlStatistics
+
+__all__ = [
+    "FrequentSelector",
+    "MedianSelector",
+    "PriorSelector",
+    "WorstSelector",
+    "Bin",
+    "bin_stats",
+    "KMeansSelector",
+    "project_average",
+    "project_epoch_time",
+    "project_throughput",
+    "project_total",
+    "project_uplift_pct",
+    "uplift_pct",
+    "SelectedPoint",
+    "Selection",
+    "SeqPointResult",
+    "SeqPointSelector",
+    "SlStat",
+    "SlStatistics",
+]

@@ -1,0 +1,125 @@
+"""Baseline representative-iteration selectors (paper §VI-C).
+
+The paper compares SeqPoint against four alternatives:
+
+* ``frequent`` — the single most frequently occurring SL (what a random
+  draw would most likely hit);
+* ``median`` — the iteration with the median SL;
+* ``worst`` — the single iteration with the worst-case projection
+  error, bounding arbitrary single-iteration selection;
+* ``prior`` — the sampling methodology of Zhu et al. [1]: profile a
+  window of contiguous iterations after a fixed warmup, and scale the
+  window's mean iteration time by the epoch's iteration count.
+
+All return :class:`~repro.core.selection.Selection`, so every
+projection utility applies uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.core.selection import SelectedPoint, Selection
+from repro.core.sl_stats import SlStatistics
+from repro.errors import SelectionError
+from repro.train.trace import TrainingTrace
+
+__all__ = [
+    "FrequentSelector",
+    "MedianSelector",
+    "WorstSelector",
+    "PriorSelector",
+]
+
+
+def _single_point(
+    method: str, statistics: SlStatistics, seq_len: int
+) -> Selection:
+    stat = statistics.for_seq_len(seq_len)
+    point = SelectedPoint(
+        record=stat.representative,
+        weight=float(statistics.total_iterations),
+    )
+    return Selection(method=method, points=(point,))
+
+
+class FrequentSelector:
+    """The most frequently occurring sequence length."""
+
+    METHOD = "frequent"
+
+    def select(self, trace: TrainingTrace) -> Selection:
+        statistics = SlStatistics.from_trace(trace)
+        best = max(statistics, key=lambda stat: stat.iterations)
+        return _single_point(self.METHOD, statistics, best.seq_len)
+
+
+class MedianSelector:
+    """The iteration with the median sequence length."""
+
+    METHOD = "median"
+
+    def select(self, trace: TrainingTrace) -> Selection:
+        statistics = SlStatistics.from_trace(trace)
+        ordered = sorted(record.seq_len for record in trace.records)
+        median_sl = ordered[len(ordered) // 2]
+        return _single_point(self.METHOD, statistics, median_sl)
+
+
+class WorstSelector:
+    """The single SL with the worst-case epoch-time projection error.
+
+    A bound on how badly an arbitrarily chosen iteration can represent
+    the run (the paper's ``worst`` bars).
+    """
+
+    METHOD = "worst"
+
+    def select(self, trace: TrainingTrace) -> Selection:
+        statistics = SlStatistics.from_trace(trace)
+        actual = statistics.total_time_s
+        total_iterations = statistics.total_iterations
+
+        def error_of(stat) -> float:
+            # Projection error of re-running this SL's representative
+            # iteration and scaling by the epoch's iteration count.
+            return abs(stat.representative.time_s * total_iterations - actual)
+
+        worst = max(statistics, key=error_of)
+        return _single_point(self.METHOD, statistics, worst.seq_len)
+
+
+class PriorSelector:
+    """Contiguous-window sampling after warmup (Zhu et al. [1]).
+
+    Every window iteration is profiled (the method is SL-oblivious), so
+    the selection carries ``window`` points each weighted by
+    ``epoch_iterations / window``.
+    """
+
+    METHOD = "prior"
+
+    def __init__(self, warmup: int = 200, window: int = 50):
+        if warmup < 0:
+            raise SelectionError("warmup cannot be negative")
+        if window <= 0:
+            raise SelectionError("window must be positive")
+        self.warmup = warmup
+        self.window = window
+
+    def select(self, trace: TrainingTrace) -> Selection:
+        records = trace.records
+        if not records:
+            raise SelectionError("prior: empty trace")
+        start = min(self.warmup, max(0, len(records) - self.window))
+        picked = records[start:start + self.window]
+        if not picked:
+            raise SelectionError(
+                f"prior: trace has {len(records)} iterations, none left "
+                f"after warmup {self.warmup}"
+            )
+        weight = len(records) / len(picked)
+        points = tuple(
+            SelectedPoint(record=record, weight=weight) for record in picked
+        )
+        return Selection(
+            method=self.METHOD, points=points, profiled_iterations=len(picked)
+        )

@@ -1,0 +1,94 @@
+"""Projection of whole-run statistics from a selection (Equation 1).
+
+Extensive statistics (total runtime, total instructions) project as the
+weighted *sum* over selected points; ratio statistics (throughput, IPC)
+as the weighted *average* — normalised by the sum of weights, as the
+paper specifies under Equation 1.
+
+Cross-configuration projection is the headline use: points identified
+once (config #1) are re-measured on another configuration by running
+just those iterations, and the weighted arithmetic projects full-run
+time, throughput, and speedups there.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.selection import SelectedPoint, Selection
+from repro.errors import ProjectionError
+from repro.train.runner import TrainingRunSimulator
+from repro.util.stats import weighted_average, weighted_sum
+
+__all__ = [
+    "project_total",
+    "project_average",
+    "project_epoch_time",
+    "project_throughput",
+    "uplift_pct",
+    "project_uplift_pct",
+]
+
+PointStat = Callable[[SelectedPoint], float]
+
+
+def project_total(selection: Selection, stat: PointStat) -> float:
+    """Weighted sum of ``stat`` over the selection (extensive stats)."""
+    values = [stat(point) for point in selection.points]
+    weights = [point.weight for point in selection.points]
+    return weighted_sum(values, weights)
+
+
+def project_average(selection: Selection, stat: PointStat) -> float:
+    """Weight-normalised projection (ratio stats such as IPC)."""
+    values = [stat(point) for point in selection.points]
+    weights = [point.weight for point in selection.points]
+    return weighted_average(values, weights)
+
+
+def _measure_on(point: SelectedPoint, runner: TrainingRunSimulator) -> float:
+    return runner.measure_seq_len(point.seq_len, point.tgt_len)
+
+
+def project_epoch_time(
+    selection: Selection, runner: TrainingRunSimulator
+) -> float:
+    """Project total epoch time on ``runner``'s hardware configuration.
+
+    Only the selected iterations are executed — this is the entire
+    point of representative selection.
+    """
+    return project_total(selection, lambda point: _measure_on(point, runner))
+
+
+def project_throughput(
+    selection: Selection, runner: TrainingRunSimulator
+) -> float:
+    """Project training throughput (samples/s) on ``runner``'s config."""
+    total_time = project_epoch_time(selection, runner)
+    if total_time <= 0:
+        raise ProjectionError("projected epoch time is non-positive")
+    samples = selection.total_weight * runner.batching.batch_size
+    return samples / total_time
+
+
+def uplift_pct(base_throughput: float, target_throughput: float) -> float:
+    """Percentage throughput uplift going from base to target."""
+    if base_throughput <= 0:
+        raise ProjectionError("base throughput must be positive")
+    return (target_throughput / base_throughput - 1.0) * 100.0
+
+
+def project_uplift_pct(
+    selection: Selection,
+    base_runner: TrainingRunSimulator,
+    target_runner: TrainingRunSimulator,
+) -> float:
+    """Project the throughput uplift between two hardware configs.
+
+    Both sides are projected from the same selection, mirroring how the
+    paper evaluates speedup projections (Figs 15 and 16).
+    """
+    base = project_throughput(selection, base_runner)
+    target = project_throughput(selection, target_runner)
+    return uplift_pct(base, target)

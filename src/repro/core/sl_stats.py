@@ -1,0 +1,94 @@
+"""Per-sequence-length statistics of a training trace.
+
+Step 1 of the paper's mechanism: "calculate statistic *stat* per unique
+sequence length".  For each unique SL the epoch exercised we keep its
+iteration count (the weight source), its mean runtime (the clustered
+statistic), and a representative iteration record (the actual iteration
+a profiler would re-run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+from repro.train.trace import IterationRecord, TrainingTrace
+
+__all__ = ["SlStat", "SlStatistics"]
+
+
+@dataclass(frozen=True)
+class SlStat:
+    """Statistics of all iterations at one unique sequence length."""
+
+    seq_len: int
+    iterations: int
+    mean_time_s: float
+    total_time_s: float
+    #: The logged iteration whose runtime is closest to the mean — the
+    #: concrete iteration to re-execute when this SL is selected.
+    representative: IterationRecord
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise TraceError(f"SL {self.seq_len}: no iterations")
+
+
+@dataclass(frozen=True)
+class SlStatistics:
+    """All per-SL statistics of one epoch, ordered by sequence length."""
+
+    stats: tuple[SlStat, ...]
+
+    @classmethod
+    def from_trace(cls, trace: TrainingTrace) -> "SlStatistics":
+        if not trace.records:
+            raise TraceError("cannot compute SL statistics of an empty trace")
+        by_sl: dict[int, list[IterationRecord]] = {}
+        for record in trace.records:
+            by_sl.setdefault(record.seq_len, []).append(record)
+
+        stats = []
+        for seq_len in sorted(by_sl):
+            records = by_sl[seq_len]
+            total = sum(r.time_s for r in records)
+            mean = total / len(records)
+            representative = min(records, key=lambda r: abs(r.time_s - mean))
+            stats.append(
+                SlStat(
+                    seq_len=seq_len,
+                    iterations=len(records),
+                    mean_time_s=mean,
+                    total_time_s=total,
+                    representative=representative,
+                )
+            )
+        return cls(stats=tuple(stats))
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def __iter__(self):
+        return iter(self.stats)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(stat.total_time_s for stat in self.stats)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(stat.iterations for stat in self.stats)
+
+    @property
+    def min_seq_len(self) -> int:
+        return self.stats[0].seq_len
+
+    @property
+    def max_seq_len(self) -> int:
+        return self.stats[-1].seq_len
+
+    def for_seq_len(self, seq_len: int) -> SlStat:
+        for stat in self.stats:
+            if stat.seq_len == seq_len:
+                return stat
+        raise TraceError(f"no iterations at sequence length {seq_len}")

@@ -1,0 +1,171 @@
+"""Batching policies: how a corpus becomes an epoch of iterations.
+
+Every policy groups samples into fixed-size batches and pads each batch
+to its longest member (paper §IV-B1), so the *iteration* sequence
+length is the batch maximum.  The three policies reproduce the
+pipelines the paper's two networks actually use:
+
+* :class:`SortedBatching` — DS2's SortaGrad: the first epoch is sorted
+  by length.  This is the "artifact of DS2's computation" (§VI-D) that
+  hands the `prior` baseline a contiguous window of near-identical,
+  runtime-dominating iterations.
+* :class:`PooledBucketing` — GNMT-style: shuffle, then sort within
+  pools of ``pool_factor`` batches to limit padding waste.  Contiguous
+  iterations are therefore *locally similar* in SL, which is exactly
+  why a contiguous 50-iteration window is not diverse (§VI-E's
+  explanation of prior's GNMT errors).
+* :class:`ShuffledBatching` — plain random order, for later epochs and
+  ablations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.dataset import SequenceDataset
+from repro.errors import ConfigurationError
+from repro.models.spec import IterationInputs
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = [
+    "BatchingPolicy",
+    "ShuffledBatching",
+    "SortedBatching",
+    "SortaGradBatching",
+    "PooledBucketing",
+]
+
+
+class BatchingPolicy(ABC):
+    """Turns a dataset into an epoch's iteration inputs.
+
+    ``pad_multiple`` rounds the padded batch length up to a multiple
+    (speech pipelines pad the time axis for kernel alignment); it is
+    why DS2's unique-SL count is "up to half of all iterations" rather
+    than nearly all of them (paper §V-A).
+    """
+
+    def __init__(self, batch_size: int, pad_multiple: int = 1):
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive: {batch_size}")
+        if pad_multiple <= 0:
+            raise ConfigurationError(f"pad_multiple must be positive: {pad_multiple}")
+        self.batch_size = batch_size
+        self.pad_multiple = pad_multiple
+
+    def _pad(self, length: int) -> int:
+        multiple = self.pad_multiple
+        return ((length + multiple - 1) // multiple) * multiple
+
+    @abstractmethod
+    def _sample_order(
+        self, dataset: SequenceDataset, epoch: int, seed: int
+    ) -> np.ndarray:
+        """Index order in which samples are consumed this epoch."""
+
+    def plan_epoch(
+        self,
+        dataset: SequenceDataset,
+        epoch: int = 0,
+        seed: int = 0,
+        drop_last: bool = True,
+    ) -> list[IterationInputs]:
+        """Batch the dataset for one epoch.
+
+        ``drop_last`` drops the final ragged batch, as both reference
+        training pipelines do; evaluation passes keep it (at its actual
+        size) so small held-out sets are not silently skipped.
+        """
+        order = self._sample_order(dataset, epoch, seed)
+        lengths = dataset.lengths[order]
+        targets = None
+        if dataset.has_targets:
+            targets = np.array(
+                [dataset.samples[i].tgt_length for i in order], dtype=np.int64
+            )
+
+        iterations: list[IterationInputs] = []
+        for lo in range(0, len(order), self.batch_size):
+            hi = min(lo + self.batch_size, len(order))
+            if hi - lo < self.batch_size and drop_last:
+                break
+            seq_len = self._pad(int(lengths[lo:hi].max()))
+            tgt_len = (
+                self._pad(int(targets[lo:hi].max()))
+                if targets is not None
+                else None
+            )
+            iterations.append(
+                IterationInputs(batch=hi - lo, seq_len=seq_len, tgt_len=tgt_len)
+            )
+        return iterations
+
+
+class ShuffledBatching(BatchingPolicy):
+    """Uniform random sample order, reshuffled every epoch."""
+
+    def _sample_order(
+        self, dataset: SequenceDataset, epoch: int, seed: int
+    ) -> np.ndarray:
+        rng = make_rng(derive_seed(seed, "shuffle", dataset.name, epoch))
+        return rng.permutation(len(dataset))
+
+
+class SortedBatching(BatchingPolicy):
+    """Ascending length order (DS2's SortaGrad first epoch)."""
+
+    def _sample_order(
+        self, dataset: SequenceDataset, epoch: int, seed: int
+    ) -> np.ndarray:
+        return np.argsort(dataset.lengths, kind="stable")
+
+
+class SortaGradBatching(BatchingPolicy):
+    """DS2's actual curriculum: first epoch sorted, later epochs shuffled.
+
+    DeepSpeech2 sorts the first epoch by utterance length for training
+    stability ("SortaGrad"); from the second epoch on it shuffles.  The
+    paper's `prior`-baseline discussion (§VI-D) hinges on the sorted
+    first epoch, which is also the identification epoch.
+    """
+
+    def _sample_order(
+        self, dataset: SequenceDataset, epoch: int, seed: int
+    ) -> np.ndarray:
+        if epoch == 0:
+            return np.argsort(dataset.lengths, kind="stable")
+        rng = make_rng(derive_seed(seed, "sortagrad", dataset.name, epoch))
+        return rng.permutation(len(dataset))
+
+
+class PooledBucketing(BatchingPolicy):
+    """Shuffle, then sort within pools of ``pool_factor`` batches.
+
+    The standard NMT input pipeline (torchtext/fairseq style): padding
+    waste stays low because nearby batches have similar lengths, and
+    batch order inherits the pool structure rather than being uniformly
+    mixed.
+    """
+
+    def __init__(
+        self, batch_size: int, pool_factor: int = 100, pad_multiple: int = 1
+    ):
+        super().__init__(batch_size, pad_multiple)
+        if pool_factor <= 0:
+            raise ConfigurationError(f"pool_factor must be positive: {pool_factor}")
+        self.pool_factor = pool_factor
+
+    def _sample_order(
+        self, dataset: SequenceDataset, epoch: int, seed: int
+    ) -> np.ndarray:
+        rng = make_rng(derive_seed(seed, "pooled", dataset.name, epoch))
+        order = rng.permutation(len(dataset))
+        lengths = dataset.lengths
+        pool_span = self.pool_factor * self.batch_size
+        pieces: list[np.ndarray] = []
+        for start in range(0, len(order), pool_span):
+            pool = order[start:start + pool_span]
+            pieces.append(pool[np.argsort(lengths[pool], kind="stable")])
+        return np.concatenate(pieces)

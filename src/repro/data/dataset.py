@@ -1,0 +1,89 @@
+"""Dataset container: a population of variable-length samples.
+
+A :class:`SequenceDataset` is all SeqPoint ever sees of a corpus: how
+many samples, their lengths (and target-side lengths for seq2seq), and
+the vocabulary size (which must be preserved when sampling — the
+paper's Key Observation 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Sample", "SequenceDataset"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One training example's length metadata."""
+
+    length: int
+    tgt_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigurationError(f"sample length must be positive: {self.length}")
+        if self.tgt_length is not None and self.tgt_length <= 0:
+            raise ConfigurationError(
+                f"target length must be positive: {self.tgt_length}"
+            )
+
+
+@dataclass(frozen=True)
+class SequenceDataset:
+    """A corpus as a population of sample lengths."""
+
+    name: str
+    samples: tuple[Sample, ...]
+    vocab: int
+    #: Human-readable modality, e.g. "speech-frames" or "text-tokens".
+    unit: str = "tokens"
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError(f"{self.name}: dataset has no samples")
+        if self.vocab <= 0:
+            raise ConfigurationError(f"{self.name}: vocab must be positive")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.array([sample.length for sample in self.samples], dtype=np.int64)
+
+    @property
+    def has_targets(self) -> bool:
+        return self.samples[0].tgt_length is not None
+
+    def length_histogram(self) -> dict[int, int]:
+        """Sample count per unique length (the Fig 7 statistic)."""
+        values, counts = np.unique(self.lengths, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def split(self, eval_fraction: float, seed: int) -> tuple[
+        "SequenceDataset", "SequenceDataset"
+    ]:
+        """Deterministic train/eval split (eval is the paper's ~2-3%)."""
+        if not 0.0 < eval_fraction < 1.0:
+            raise ConfigurationError(
+                f"eval_fraction must lie in (0, 1), got {eval_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.samples))
+        eval_count = max(1, int(len(self.samples) * eval_fraction))
+        eval_idx = set(order[:eval_count].tolist())
+        train = tuple(
+            sample for i, sample in enumerate(self.samples) if i not in eval_idx
+        )
+        evaluation = tuple(
+            sample for i, sample in enumerate(self.samples) if i in eval_idx
+        )
+        return (
+            SequenceDataset(f"{self.name}-train", train, self.vocab, self.unit),
+            SequenceDataset(f"{self.name}-eval", evaluation, self.vocab, self.unit),
+        )

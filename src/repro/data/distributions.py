@@ -1,0 +1,92 @@
+"""Sequence-length distribution models.
+
+Length populations are what give SQNN training its heterogeneity, so
+these distributions are the root of every paper figure.  Two families
+cover both corpora: a clipped log-normal (sentence lengths are
+classically log-normal) and a weighted mixture (speech corpora have
+distinct short-utterance and long-utterance modes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LengthDistribution", "LogNormalLengths", "MixtureLengths"]
+
+
+class LengthDistribution(ABC):
+    """Draws integer sequence lengths."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Return ``count`` integer lengths."""
+
+    @staticmethod
+    def _clip_to_int(
+        values: np.ndarray, min_len: int, max_len: int
+    ) -> np.ndarray:
+        return np.clip(np.rint(values), min_len, max_len).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LogNormalLengths(LengthDistribution):
+    """Log-normal lengths clipped to ``[min_len, max_len]``.
+
+    ``median`` is the distribution median in length units (more
+    readable to calibrate than the underlying mu).
+    """
+
+    median: float
+    sigma: float
+    min_len: int
+    max_len: int
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise ConfigurationError("median and sigma must be positive")
+        if not 0 < self.min_len <= self.max_len:
+            raise ConfigurationError(
+                f"need 0 < min_len <= max_len, got [{self.min_len}, {self.max_len}]"
+            )
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        draws = rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=count)
+        return self._clip_to_int(draws, self.min_len, self.max_len)
+
+
+@dataclass(frozen=True)
+class MixtureLengths(LengthDistribution):
+    """Weighted mixture of component distributions."""
+
+    components: tuple[tuple[float, LengthDistribution], ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("mixture needs at least one component")
+        if any(weight <= 0 for weight, _ in self.components):
+            raise ConfigurationError("mixture weights must be positive")
+
+    @staticmethod
+    def of(*components: tuple[float, LengthDistribution]) -> "MixtureLengths":
+        return MixtureLengths(components=tuple(components))
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        weights = np.array([weight for weight, _ in self.components], dtype=float)
+        weights /= weights.sum()
+        assignment = rng.choice(len(self.components), size=count, p=weights)
+        lengths = np.empty(count, dtype=np.int64)
+        for index, (_, dist) in enumerate(self.components):
+            mask = assignment == index
+            picked = int(mask.sum())
+            if picked:
+                lengths[mask] = dist.sample(rng, picked)
+        return lengths

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure while letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class LoweringError(ReproError):
+    """A model could not be lowered to a kernel sequence."""
+
+
+class KernelSelectionError(ReproError):
+    """No kernel variant in the registry can execute the requested shape."""
+
+
+class TraceError(ReproError):
+    """A training trace is missing data required by an analysis."""
+
+
+class SelectionError(ReproError):
+    """Representative-iteration selection failed (e.g. empty trace)."""
+
+
+class ProjectionError(ReproError):
+    """A statistic could not be projected from selected iterations."""

@@ -1,0 +1,13 @@
+"""Evaluation harness: one module per paper table/figure.
+
+Every experiment regenerates the rows/series of its paper artefact
+(same workloads, same hardware configurations, same selectors) and
+returns an :class:`~repro.experiments.base.ExperimentResult` that the
+benchmarks print.  ``registry()`` lists them all; ``run_all()`` is the
+everything-at-once harness used to produce EXPERIMENTS.md.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import registry, run_all
+
+__all__ = ["ExperimentResult", "registry", "run_all"]

@@ -1,0 +1,56 @@
+"""§VII-C ablation: k-means over execution profiles vs SL binning.
+
+The paper tried k-means clustering of iteration execution profiles and
+found the simple contiguous SL binning "performs as well" — because
+iteration runtime is a good proxy for the execution profile.  We run
+both at the same cluster count and compare cross-config projection
+errors.
+"""
+
+from __future__ import annotations
+
+from repro.core.kmeans import KMeansSelector
+from repro.core.projection import project_epoch_time
+from repro.experiments.base import ExperimentResult
+from repro.experiments.selectors import seqpoint_result
+from repro.experiments.setups import epoch_trace, runner
+from repro.util.stats import geomean, percent_error
+
+__all__ = ["run", "compare"]
+
+
+def compare(network: str, scale: float = 1.0) -> dict[str, float]:
+    """Geomean cross-config time-projection error % of each method."""
+    sp = seqpoint_result(network, scale)
+    km = KMeansSelector(k=len(sp.selection)).select(epoch_trace(network, 1, scale))
+    errors: dict[str, list[float]] = {"seqpoint": [], "kmeans": []}
+    for config_index in range(1, 6):
+        actual = epoch_trace(network, config_index, scale).total_time_s
+        target = runner(network, config_index, scale)
+        errors["seqpoint"].append(
+            percent_error(project_epoch_time(sp.selection, target), actual)
+        )
+        errors["kmeans"].append(
+            percent_error(project_epoch_time(km, target), actual)
+        )
+    return {method: geomean(values) for method, values in errors.items()}
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    rows = []
+    for network in ("gnmt", "ds2"):
+        outcome = compare(network, scale)
+        rows.append(
+            [network, round(outcome["seqpoint"], 3), round(outcome["kmeans"], 3)]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_kmeans",
+        title="SL binning vs k-means over execution profiles "
+        "(geomean time-projection error %, equal cluster counts)",
+        headers=["network", "seqpoint_binning", "kmeans_profiles"],
+        rows=rows,
+        notes=[
+            "paper §VII-C: the simple binning performs as well as k-means, "
+            "because runtime proxies the execution profile"
+        ],
+    )

@@ -1,0 +1,61 @@
+"""Design-choice ablation: how to pick a bin's representative.
+
+The paper picks the SL whose runtime is closest to the bin's average
+runtime.  Alternatives: the bin's median iteration, or the SL closest
+to the bin's iteration-weighted SL centroid (SimPoint's centroid
+analogue).  All use the paper's bins and weights.
+"""
+
+from __future__ import annotations
+
+from repro.core.binning import bin_stats
+from repro.core.projection import project_epoch_time
+from repro.core.selection import Selection, select_from_bin
+from repro.core.sl_stats import SlStatistics
+from repro.experiments.base import ExperimentResult
+from repro.experiments.selectors import seqpoint_result
+from repro.experiments.setups import epoch_trace, runner
+from repro.util.stats import geomean, percent_error
+
+__all__ = ["run", "compare", "STRATEGIES"]
+
+STRATEGIES = ("closest-mean", "median-sl", "centroid-sl")
+
+
+def compare(network: str, scale: float = 1.0) -> dict[str, float]:
+    """Geomean cross-config time-projection error % per strategy."""
+    statistics = SlStatistics.from_trace(epoch_trace(network, 1, scale))
+    k = max(seqpoint_result(network, scale).k, 1)
+    bins = bin_stats(statistics, k)
+    outcome: dict[str, float] = {}
+    for strategy in STRATEGIES:
+        selection = Selection(
+            method=f"seqpoint[{strategy}]",
+            points=tuple(select_from_bin(b, strategy=strategy) for b in bins),
+        )
+        errors = []
+        for config_index in range(1, 6):
+            actual = epoch_trace(network, config_index, scale).total_time_s
+            projected = project_epoch_time(
+                selection, runner(network, config_index, scale)
+            )
+            errors.append(percent_error(projected, actual))
+        outcome[strategy] = geomean(errors)
+    return outcome
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    rows = []
+    for network in ("gnmt", "ds2"):
+        outcome = compare(network, scale)
+        rows.append(
+            [network] + [round(outcome[s], 3) for s in STRATEGIES]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_representative",
+        title="Bin-representative strategies "
+        "(geomean time-projection error %, paper's bins and weights)",
+        headers=["network", *STRATEGIES],
+        rows=rows,
+        notes=["closest-mean is the paper's choice"],
+    )

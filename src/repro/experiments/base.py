@@ -1,0 +1,34 @@
+"""Common result container for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    #: Free-form observations (paper-vs-measured commentary).
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = render_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column (convenience for tests/benches)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

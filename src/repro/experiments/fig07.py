@@ -1,0 +1,55 @@
+"""Fig 7: histogram of sequence lengths exercised by each network.
+
+Iteration-level SL histograms of one training epoch (after batching and
+padding), displayed in coarse display bins like the paper's chart, plus
+the headline statistic of §V-A: how large the unique-SL space is
+relative to the epoch.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.setups import epoch_trace
+
+__all__ = ["run", "unique_sl_fraction"]
+
+_DISPLAY_BINS = 10
+
+
+def unique_sl_fraction(network: str, scale: float = 1.0) -> float:
+    """Unique SLs as a fraction of epoch iterations (paper: DS2 ~ half)."""
+    trace = epoch_trace(network, 1, scale)
+    return len(trace.unique_seq_lens()) / len(trace)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    rows: list[list[object]] = []
+    notes: list[str] = []
+    for network in ("ds2", "gnmt"):
+        trace = epoch_trace(network, 1, scale)
+        histogram = trace.iteration_histogram()
+        lo, hi = min(histogram), max(histogram)
+        width = max(1, (hi - lo + 1) // _DISPLAY_BINS)
+        display: dict[int, int] = {}
+        for seq_len, count in histogram.items():
+            bucket = lo + ((seq_len - lo) // width) * width
+            display[bucket] = display.get(bucket, 0) + count
+        for bucket in sorted(display):
+            rows.append(
+                [network, f"{bucket}-{bucket + width - 1}", display[bucket]]
+            )
+        notes.append(
+            f"{network}: {len(histogram)} unique SLs over {len(trace)} "
+            f"iterations ({unique_sl_fraction(network, scale):.0%})"
+        )
+    notes.append(
+        "paper: DS2/LibriSpeech-100h unique SLs reach ~half of epoch "
+        "iterations; GNMT/IWSLT15 has a wide many-hundreds-long tail"
+    )
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="Iteration sequence-length histograms (one epoch)",
+        headers=["network", "sl_range", "iterations"],
+        rows=rows,
+        notes=notes,
+    )

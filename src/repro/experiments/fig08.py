@@ -1,0 +1,51 @@
+"""Fig 8: nearby sequence lengths have similar execution profiles.
+
+The paper plots GNMT kernel-group shares at SLs 87/89 and 192/197 and
+observes that close SLs overlap while distant ones differ.  We
+regenerate the shares plus the pairwise total-variation distances that
+quantify "similar".
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig06 import GROUP_ORDER
+from repro.experiments.setups import BATCH_SIZE, scenario
+from repro.hw.config import paper_config
+from repro.hw.device import GpuDevice
+from repro.profiling.comparison import runtime_share_distance
+from repro.profiling.profiler import Profiler
+
+__all__ = ["run", "PAPER_SLS"]
+
+#: The paper's exact GNMT sequence lengths.
+PAPER_SLS = (87, 89, 192, 197)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    profiler = Profiler(scenario("gnmt", scale).model, GpuDevice(paper_config(1)))
+    profiles = {
+        sl: profiler.profile_seq_len(sl, batch=BATCH_SIZE).profile
+        for sl in PAPER_SLS
+    }
+    rows: list[list[object]] = []
+    for sl, profile in profiles.items():
+        shares = profile.runtime_share_by_group()
+        rows.append(
+            [f"SL {sl}"]
+            + [round(shares.get(group, 0.0), 4) for group in GROUP_ORDER]
+        )
+    notes = []
+    for sl_a, sl_b in combinations(PAPER_SLS, 2):
+        distance = runtime_share_distance(profiles[sl_a], profiles[sl_b])
+        notes.append(f"share distance SL{sl_a} vs SL{sl_b}: {distance:.4f}")
+    notes.append("paper: 87~89 and 192~197 nearly identical; cross pairs differ")
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="GNMT kernel-group shares at the paper's four SLs",
+        headers=["iteration", *GROUP_ORDER],
+        rows=rows,
+        notes=notes,
+    )

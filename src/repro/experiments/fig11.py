@@ -1,0 +1,12 @@
+"""Fig 11: error in total training time projections for DS2."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.time_projection import build_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return build_result("ds2", "fig11", paper_geomean=0.11, scale=scale)

@@ -1,0 +1,12 @@
+"""Fig 12: error in total training time projections for GNMT."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.time_projection import build_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return build_result("gnmt", "fig12", paper_geomean=0.53, scale=scale)

@@ -1,0 +1,12 @@
+"""Fig 13: GNMT per-SL sensitivity to GCLK, CUs, L1 and L2."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.sensitivity import build_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return build_result("gnmt", "fig13", paper_variation_pct=30, scale=scale)

@@ -1,0 +1,12 @@
+"""Fig 14: DS2 per-SL sensitivity to GCLK, CUs, L1 and L2."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.sensitivity import build_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return build_result("ds2", "fig14", paper_variation_pct=45, scale=scale)

@@ -1,0 +1,12 @@
+"""Fig 15: error in performance-speedup projections for DS2."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.speedup_projection import build_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return build_result("ds2", "fig15", paper_geomean=0.13, scale=scale)

@@ -1,0 +1,12 @@
+"""Fig 16: error in performance-speedup projections for GNMT."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.speedup_projection import build_result
+
+__all__ = ["run"]
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    return build_result("gnmt", "fig16", paper_geomean=1.50, scale=scale)

@@ -1,0 +1,76 @@
+"""Experiment registry and the run-everything harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation_binning,
+    ablation_identification,
+    ablation_kmeans,
+    ablation_representative,
+    counter_projection,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    generality,
+    inference,
+    naive_all_sls,
+    profiling_speedups,
+    table1,
+    table2,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["registry", "run_all"]
+
+Runner = Callable[[float], ExperimentResult]
+
+_REGISTRY: dict[str, Runner] = {
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "table1": table1.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "table2": table2.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "profiling_speedups": profiling_speedups.run,
+    "ablation_kmeans": ablation_kmeans.run,
+    "ablation_binning": ablation_binning.run,
+    "ablation_representative": ablation_representative.run,
+    "ablation_identification": ablation_identification.run,
+    "naive_all_sls": naive_all_sls.run,
+    "counter_projection": counter_projection.run,
+    "generality": generality.run,
+    "inference": inference.run,
+}
+
+
+def registry() -> dict[str, Runner]:
+    """All experiments by id, in paper order."""
+    return dict(_REGISTRY)
+
+
+def run_all(scale: float = 1.0) -> list[ExperimentResult]:
+    """Run every experiment (traces are shared via the setup cache)."""
+    return [runner(scale) for runner in _REGISTRY.values()]

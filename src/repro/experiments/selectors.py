@@ -1,0 +1,43 @@
+"""Shared selector machinery for the evaluation experiments.
+
+Identification always happens on config #1 (as in the paper); the
+resulting selections are reused across configs 2-5 by Figs 11/12/15/16.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.baselines import (
+    FrequentSelector,
+    MedianSelector,
+    PriorSelector,
+    WorstSelector,
+)
+from repro.core.selection import Selection
+from repro.core.seqpoint import SeqPointSelector
+from repro.experiments.setups import epoch_trace
+
+__all__ = ["METHOD_ORDER", "selections", "seqpoint_result"]
+
+#: Bar order of the paper's comparison figures.
+METHOD_ORDER = ("worst", "frequent", "median", "prior", "seqpoint")
+
+
+@lru_cache(maxsize=None)
+def seqpoint_result(network: str, scale: float = 1.0):
+    """SeqPoint identification on config #1 (memoised)."""
+    return SeqPointSelector().select(epoch_trace(network, 1, scale))
+
+
+@lru_cache(maxsize=None)
+def selections(network: str, scale: float = 1.0) -> dict[str, Selection]:
+    """All five selections, identified on the config #1 trace."""
+    trace = epoch_trace(network, 1, scale)
+    return {
+        "worst": WorstSelector().select(trace),
+        "frequent": FrequentSelector().select(trace),
+        "median": MedianSelector().select(trace),
+        "prior": PriorSelector().select(trace),
+        "seqpoint": seqpoint_result(network, scale).selection,
+    }

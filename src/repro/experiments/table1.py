@@ -1,0 +1,64 @@
+"""Table I: the same GEMM has different dims across iterations.
+
+Regenerates the classifier-layer GEMM shapes: forward (GEMM-a) and
+data-gradient (GEMM-b) for two iterations of each network.  The paper's
+shapes — GNMT ``M=36549, K=1024``; DS2 ``M=29, K=1600``; ``N`` equal to
+``batch x`` (decoder steps | post-conv steps) — fall out of the model
+builders directly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.setups import BATCH_SIZE, scenario
+from repro.hw.config import paper_config
+from repro.models.spec import IterationInputs
+
+__all__ = ["run", "classifier_shapes"]
+
+#: The two iterations per network (sl-1, sl-2), chosen to land on the
+#: paper's exact N values where the corpus allows.
+_PAPER_SLS = {"gnmt": (8, 85), "ds2": (118, 804)}
+
+
+def classifier_shapes(
+    network: str, seq_len: int, scale: float = 1.0
+) -> dict[str, tuple[int, int, int]]:
+    """Forward and dgrad GEMM shapes of the classifier at ``seq_len``."""
+    setup = scenario(network, scale)
+    inputs = IterationInputs(batch=BATCH_SIZE, seq_len=seq_len)
+    schedule = setup.model.lower_iteration(inputs, paper_config(1))
+    shapes = schedule.gemm_shapes()
+    if network == "gnmt":
+        vocab = setup.model.vocab
+        fwd = next(s for s in shapes if s[0] == vocab)
+        # dgrad is [hidden, positions, vocab] — the Table I GEMM-b row.
+        dgrad = next(s for s in shapes if s[2] == vocab)
+        return {"GEMM-a": fwd, "GEMM-b": dgrad}
+    alphabet = setup.model.alphabet
+    fwd = next(s for s in shapes if s[0] == alphabet)
+    dgrad = next(s for s in shapes if s[2] == alphabet)
+    return {"GEMM-a": fwd, "GEMM-b": dgrad}
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    rows: list[list[object]] = []
+    for network, (sl1, sl2) in _PAPER_SLS.items():
+        for op in ("GEMM-a", "GEMM-b"):
+            shape1 = classifier_shapes(network, sl1, scale)[op]
+            shape2 = classifier_shapes(network, sl2, scale)[op]
+            # Display as the paper does: M, K fixed; N per iteration.
+            m, n1, k = shape1
+            _, n2, _ = shape2
+            rows.append([network, op, m, k, n1, n2])
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Classifier GEMM dimensions across two iterations",
+        headers=["network", "gemm", "M", "K", "N (sl-1)", "N (sl-2)"],
+        rows=rows,
+        notes=[
+            "paper: GNMT GEMM-a M=36549 K=1024, N=576/6016;"
+            " DS2 GEMM-a M=29 K=1600, N=3776/25728",
+            "N = batch * steps: GNMT decoder steps, DS2 post-conv steps",
+        ],
+    )

@@ -1,0 +1,84 @@
+"""Compute-side model: work description and achievable issue rate.
+
+A kernel's compute description is its FLOP count, how many work-items it
+launches, and an intrinsic issue efficiency (how close a perfectly fed
+kernel of this type gets to peak — GEMM inner loops issue denser than
+scattered pointwise code).  The model converts CU count, clock, and the
+kernel's parallelism into an achievable FLOP rate:
+
+* **occupancy** — a kernel with fewer waves than the machine has wave
+  slots cannot fill it; small kernels become latency/launch bound, which
+  is what makes short-sequence iterations *less* sensitive to CU count
+  and clock in Figs 13/14;
+* **tail effect** — the last partially filled round of workgroups
+  leaves CUs idle (classic wave-quantisation), which also shrinks as
+  sequences grow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+
+__all__ = ["ComputeProfile", "compute_time", "parallel_efficiency"]
+
+#: Waves a CU needs in flight to hide its own pipeline latency.  Below
+#: this the kernel cannot reach its issue efficiency even when resident.
+_LATENCY_HIDING_WAVES = 4.0
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Compute behaviour of one kernel invocation."""
+
+    flops: float
+    work_items: int
+    #: Fraction of peak a fully occupied machine reaches on this kernel.
+    issue_efficiency: float = 0.7
+    #: Work-items per workgroup (tail effects quantise at this size).
+    workgroup_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ConfigurationError("flops cannot be negative")
+        if self.work_items <= 0:
+            raise ConfigurationError("work_items must be positive")
+        if not 0.0 < self.issue_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"issue_efficiency must lie in (0, 1], got {self.issue_efficiency}"
+            )
+        if self.workgroup_size <= 0:
+            raise ConfigurationError("workgroup_size must be positive")
+
+    @property
+    def workgroups(self) -> int:
+        return max(1, math.ceil(self.work_items / self.workgroup_size))
+
+    def waves(self, config: HardwareConfig) -> float:
+        return max(1.0, self.work_items / config.wave_size)
+
+
+def parallel_efficiency(profile: ComputeProfile, config: HardwareConfig) -> float:
+    """Fraction of the machine this kernel can actually keep busy."""
+    # Occupancy: how full are the machine's wave slots?
+    wave_slots = config.num_cus * _LATENCY_HIDING_WAVES
+    occupancy = min(1.0, profile.waves(config) / wave_slots)
+
+    # Tail: the final round of workgroups only fills part of the machine.
+    workgroups = profile.workgroups
+    rounds = math.ceil(workgroups / config.num_cus)
+    tail = workgroups / (rounds * config.num_cus)
+
+    return occupancy * tail
+
+
+def compute_time(profile: ComputeProfile, config: HardwareConfig) -> float:
+    """Seconds the ALUs need for this kernel on ``config``."""
+    if profile.flops == 0.0:
+        return 0.0
+    efficiency = profile.issue_efficiency * parallel_efficiency(profile, config)
+    achievable = config.peak_flops * max(efficiency, 1e-6)
+    return profile.flops / achievable

@@ -1,0 +1,60 @@
+"""GPU device facade.
+
+:class:`GpuDevice` is the single entry point the rest of the library
+uses to "run" kernels: it takes a :class:`~repro.hw.timing.WorkProfile`
+and returns a :class:`KernelMeasurement` (runtime, breakdown, counters)
+for its configuration.  Measurements are deterministic — the model is
+analytical — so a device can be shared freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.hw.config import HardwareConfig
+from repro.hw.counters import CounterSet
+from repro.hw.timing import TimingBreakdown, WorkProfile, time_work
+
+__all__ = ["GpuDevice", "KernelMeasurement"]
+
+
+@dataclass(frozen=True)
+class KernelMeasurement:
+    """What the profiler observes for one kernel invocation."""
+
+    time_s: float
+    breakdown: TimingBreakdown
+    counters: CounterSet
+
+
+class GpuDevice:
+    """A GPU at one hardware configuration.
+
+    Work profiles are hashable, and models re-issue identical kernels
+    thousands of times per epoch (every LSTM step launches the same
+    recurrent GEMM), so measurements are memoised per device.
+    """
+
+    def __init__(self, config: HardwareConfig):
+        self._config = config
+        # Per-instance cache: bound lru_cache keeps measurements from
+        # leaking across devices with different configs.
+        self._measure = lru_cache(maxsize=65536)(self._measure_uncached)
+
+    @property
+    def config(self) -> HardwareConfig:
+        return self._config
+
+    def run(self, work: WorkProfile) -> KernelMeasurement:
+        """Execute ``work`` and return its measurement."""
+        return self._measure(work)
+
+    def _measure_uncached(self, work: WorkProfile) -> KernelMeasurement:
+        time_s, breakdown, counters = time_work(work, self._config)
+        return KernelMeasurement(
+            time_s=time_s, breakdown=breakdown, counters=counters
+        )
+
+    def __repr__(self) -> str:
+        return f"GpuDevice({self._config.describe()})"

@@ -1,0 +1,150 @@
+"""Kernel timing engine.
+
+Combines the compute model (:mod:`repro.hw.compute`), the cache model
+(:mod:`repro.hw.cache`), and latency/launch overheads into a runtime for
+one kernel invocation on one hardware configuration:
+
+``time = launch + max(compute, memory-bandwidth, memory-latency)``
+
+* the *bandwidth* bound takes the slowest level of the hierarchy at its
+  resolved traffic;
+* the *latency* bound models outstanding-miss limits: a kernel with few
+  waves in flight cannot cover average access latency, so disabling L1
+  (raising average latency) disproportionately slows low-parallelism
+  kernels — the SL-dependent sensitivity behind Figs 13/14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cache import MemoryTraffic, TrafficProfile, resolve_traffic
+from repro.hw.compute import ComputeProfile, compute_time, parallel_efficiency
+from repro.hw.config import HardwareConfig
+from repro.hw.counters import CounterSet
+
+__all__ = ["WorkProfile", "TimingBreakdown", "time_work"]
+
+#: Outstanding bytes one resident wave keeps in flight (two 64 B lines).
+_INFLIGHT_BYTES_PER_WAVE = 128.0
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Complete hardware-facing description of one kernel invocation."""
+
+    compute: ComputeProfile
+    traffic: TrafficProfile
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Where the kernel's time went (for tests and ablation analyses)."""
+
+    launch_s: float
+    compute_s: float
+    bandwidth_s: float
+    latency_s: float
+    traffic: MemoryTraffic
+
+    @property
+    def total_s(self) -> float:
+        return self.launch_s + max(self.compute_s, self.bandwidth_s, self.latency_s)
+
+    @property
+    def bound(self) -> str:
+        """Which term binds: ``compute``, ``bandwidth``, or ``latency``."""
+        terms = {
+            "compute": self.compute_s,
+            "bandwidth": self.bandwidth_s,
+            "latency": self.latency_s,
+        }
+        return max(terms, key=terms.get)
+
+
+def _bandwidth_time(traffic: MemoryTraffic, config: HardwareConfig) -> float:
+    """Slowest hierarchy level at its resolved traffic volume."""
+    times = [traffic.dram_bytes / config.dram_bandwidth]
+    if config.l2_enabled:
+        times.append(
+            (traffic.l2_read_bytes + traffic.dram_write_bytes) / config.l2_bandwidth
+        )
+    if config.l1_enabled:
+        times.append(traffic.l1_read_bytes / config.l1_bandwidth)
+    return max(times)
+
+
+def _average_latency_cycles(
+    traffic: MemoryTraffic, config: HardwareConfig
+) -> float:
+    """Mean cycles per access round, weighted by where reads are served."""
+    if traffic.l1_read_bytes <= 0.0:
+        return 0.0
+    l1_fraction = traffic.l1_hit_rate if config.l1_enabled else 0.0
+    l2_served = (traffic.l2_read_bytes - traffic.dram_read_bytes) / max(
+        traffic.l1_read_bytes, 1e-30
+    )
+    dram_fraction = traffic.dram_read_bytes / traffic.l1_read_bytes
+    return (
+        l1_fraction * config.l1_latency_cycles
+        + max(l2_served, 0.0) * config.l2_latency_cycles
+        + dram_fraction * config.dram_latency_cycles
+    )
+
+
+def _latency_time(
+    work: WorkProfile, traffic: MemoryTraffic, config: HardwareConfig
+) -> float:
+    """Exposed memory latency given the kernel's resident parallelism."""
+    if traffic.l1_read_bytes <= 0.0:
+        return 0.0
+    waves = work.compute.waves(config)
+    resident_waves = min(waves, float(config.num_cus * config.max_waves_per_cu))
+    inflight_bytes = max(resident_waves * _INFLIGHT_BYTES_PER_WAVE, 1.0)
+    rounds = traffic.l1_read_bytes / inflight_bytes
+    cycles_per_round = _average_latency_cycles(traffic, config)
+    return rounds * cycles_per_round / config.gclk_hz
+
+
+def _write_stall_cycles(
+    total_s: float, traffic: MemoryTraffic, config: HardwareConfig
+) -> float:
+    """Cycles stalled on the write path.
+
+    Writes drain at DRAM bandwidth; stall cycles grow with the share of
+    the kernel's lifetime the write queue is under pressure, so
+    write-heavy kernels (weight updates, large activations) show the
+    high write-stall numbers Fig 4 reports.
+    """
+    if total_s <= 0.0 or traffic.dram_write_bytes <= 0.0:
+        return 0.0
+    drain_s = traffic.dram_write_bytes / config.dram_bandwidth
+    pressure = min(1.0, drain_s / total_s)
+    return drain_s * pressure * config.gclk_hz
+
+
+def time_work(work: WorkProfile, config: HardwareConfig) -> tuple[float, TimingBreakdown, CounterSet]:
+    """Time one kernel on ``config``; returns (seconds, breakdown, counters)."""
+    traffic = resolve_traffic(work.traffic, config)
+    breakdown = TimingBreakdown(
+        launch_s=config.kernel_launch_s,
+        compute_s=compute_time(work.compute, config),
+        bandwidth_s=_bandwidth_time(traffic, config),
+        latency_s=_latency_time(work, traffic, config),
+        traffic=traffic,
+    )
+    total_s = breakdown.total_s
+    counters = CounterSet(
+        valu_insts=work.compute.flops
+        / (config.wave_size * config.flops_per_lane_per_clk),
+        dram_read_bytes=traffic.dram_read_bytes,
+        dram_write_bytes=traffic.dram_write_bytes,
+        l2_read_bytes=traffic.l2_read_bytes,
+        write_stall_cycles=_write_stall_cycles(total_s, traffic, config),
+        busy_cycles=total_s * config.gclk_hz,
+    )
+    return total_s, breakdown, counters
+
+
+# Re-exported for convenience: the profiles kernels are built from.
+__all__ += ["ComputeProfile", "TrafficProfile", "parallel_efficiency"]

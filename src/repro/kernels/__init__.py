@@ -1,0 +1,33 @@
+"""Kernel zoo: the library layer between models and the GPU model.
+
+Models lower to :class:`~repro.kernels.base.KernelInvocation` streams;
+each invocation names a concrete kernel *variant* (as a BLAS/DNN library
+would) and carries the :class:`~repro.hw.timing.WorkProfile` the GPU
+model times.  Variant selection is size-dependent — exactly like
+rocBLAS/MIOpen tile selection — which is what makes different sequence
+lengths invoke different kernel sets (paper Fig 5) and shift the kernel
+runtime distribution (Figs 6 and 8).
+"""
+
+from repro.kernels.base import KernelInvocation
+from repro.kernels.gemm import gemm, gemm_variants
+from repro.kernels.elementwise import elementwise
+from repro.kernels.reduction import reduction
+from repro.kernels.conv import conv2d_im2col
+from repro.kernels.embedding import embedding_gather, embedding_scatter_grad
+from repro.kernels.memops import copy_transform
+from repro.kernels.registry import KernelRegistry, default_registry
+
+__all__ = [
+    "KernelInvocation",
+    "gemm",
+    "gemm_variants",
+    "elementwise",
+    "reduction",
+    "conv2d_im2col",
+    "embedding_gather",
+    "embedding_scatter_grad",
+    "copy_transform",
+    "KernelRegistry",
+    "default_registry",
+]

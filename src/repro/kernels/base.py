@@ -1,0 +1,86 @@
+"""Kernel invocation record shared by every kernel family.
+
+A :class:`KernelInvocation` is what a profiler sees: a kernel *name*
+(the concrete compiled variant — two invocations with the same name are
+"the same kernel", possibly at different sizes, per the paper's Key
+Observation 3), a logical *op*, a reporting *group* used by the kernel
+distribution figures (GEMM-1 / GEMM-2 / reduce / scalar-op / ...), the
+logical shape, and the hardware-facing :class:`WorkProfile`.
+
+Invocations are frozen and hashable so the iteration executor can
+deduplicate repeated launches (an LSTM re-launches its recurrent GEMM
+once per time step) and the device can memoise their measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cache import TrafficProfile
+from repro.hw.compute import ComputeProfile
+from repro.hw.timing import WorkProfile
+
+__all__ = ["KernelInvocation", "make_invocation", "FLOAT_BYTES"]
+
+#: All tensors in the modelled networks are FP32.
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel launch as seen by a profiler."""
+
+    name: str
+    op: str
+    group: str
+    shape: tuple[int, ...]
+    work: WorkProfile
+
+    @property
+    def flops(self) -> float:
+        return self.work.compute.flops
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"<{self.name} op={self.op} shape={dims}>"
+
+
+def make_invocation(
+    name: str,
+    op: str,
+    group: str,
+    shape: tuple[int, ...],
+    *,
+    flops: float,
+    work_items: int,
+    read_bytes: float,
+    write_bytes: float,
+    issue_efficiency: float,
+    workgroup_size: int = 256,
+    l1_reuse_fraction: float = 0.0,
+    l1_working_set: float = 0.0,
+    l2_reuse_fraction: float = 0.0,
+    l2_working_set: float = 0.0,
+) -> KernelInvocation:
+    """Assemble an invocation from flat parameters.
+
+    Exists so the kernel family modules construct profiles in one
+    consistent way instead of each nesting three dataclasses by hand.
+    """
+    work = WorkProfile(
+        compute=ComputeProfile(
+            flops=flops,
+            work_items=work_items,
+            issue_efficiency=issue_efficiency,
+            workgroup_size=workgroup_size,
+        ),
+        traffic=TrafficProfile(
+            read_bytes=read_bytes,
+            write_bytes=write_bytes,
+            l1_reuse_fraction=l1_reuse_fraction,
+            l1_working_set=l1_working_set,
+            l2_reuse_fraction=l2_reuse_fraction,
+            l2_working_set=l2_working_set,
+        ),
+    )
+    return KernelInvocation(name=name, op=op, group=group, shape=shape, work=work)

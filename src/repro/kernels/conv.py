@@ -1,0 +1,106 @@
+"""Convolution kernels, lowered im2col + GEMM (MIOpen's default path).
+
+A 2-D convolution over a ``[batch, c_in, height, width]`` input becomes:
+
+1. an ``im2col`` expansion kernel that writes the unrolled patch matrix
+   (heavy on memory writes — this is where DS2's convolutional front-end
+   gets its write-stall signature); followed by
+2. a GEMM of ``[c_out, c_in*kh*kw] @ [c_in*kh*kw, batch*out_h*out_w]``.
+
+DS2's two convolutions stride through the *time* axis, so both kernels'
+sizes scale with the utterance sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LoweringError
+from repro.hw.config import HardwareConfig
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+from repro.kernels.gemm import gemm
+
+__all__ = ["Conv2dShape", "conv2d_im2col"]
+
+
+@dataclass(frozen=True)
+class Conv2dShape:
+    """Logical convolution problem (NCHW, valid padding handled upstream)."""
+
+    batch: int
+    c_in: int
+    c_out: int
+    in_h: int
+    in_w: int
+    kernel_h: int
+    kernel_w: int
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        if min(
+            self.batch, self.c_in, self.c_out, self.in_h, self.in_w,
+            self.kernel_h, self.kernel_w, self.stride_h, self.stride_w,
+        ) <= 0:
+            raise LoweringError(f"conv shape must be positive: {self}")
+        if self.kernel_h > self.in_h or self.kernel_w > self.in_w:
+            raise LoweringError(
+                f"kernel {self.kernel_h}x{self.kernel_w} exceeds input "
+                f"{self.in_h}x{self.in_w}"
+            )
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h - self.kernel_h) // self.stride_h + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w - self.kernel_w) // self.stride_w + 1
+
+    @property
+    def patch_size(self) -> int:
+        return self.c_in * self.kernel_h * self.kernel_w
+
+    @property
+    def output_positions(self) -> int:
+        return self.batch * self.out_h * self.out_w
+
+
+def _im2col(shape: Conv2dShape) -> KernelInvocation:
+    """The patch-expansion kernel: read once, write patch_size copies."""
+    input_bytes = shape.batch * shape.c_in * shape.in_h * shape.in_w * FLOAT_BYTES
+    column_bytes = shape.output_positions * shape.patch_size * FLOAT_BYTES
+    # Overlapping patches re-read neighbouring lines; a row of patches is
+    # the natural reuse window.
+    row_window = shape.c_in * shape.kernel_h * shape.in_w * FLOAT_BYTES
+    return make_invocation(
+        name=f"im2col_k{shape.kernel_h}x{shape.kernel_w}"
+        f"_s{shape.stride_h}x{shape.stride_w}",
+        op="im2col",
+        group="memops",
+        shape=(shape.batch, shape.c_in, shape.in_h, shape.in_w),
+        flops=0.0,
+        work_items=shape.output_positions * shape.patch_size // 4 + 1,
+        read_bytes=column_bytes,  # gathers re-read overlapped input
+        write_bytes=column_bytes,
+        issue_efficiency=0.5,
+        l1_reuse_fraction=0.6,
+        l1_working_set=row_window,
+        l2_reuse_fraction=0.3,
+        l2_working_set=input_bytes,
+    )
+
+
+def conv2d_im2col(
+    shape: Conv2dShape, config: HardwareConfig, group: str = "conv"
+) -> list[KernelInvocation]:
+    """Lower one convolution to its im2col + GEMM kernel pair."""
+    column = _im2col(shape)
+    matmul = gemm(
+        m=shape.c_out,
+        n=shape.output_positions,
+        k=shape.patch_size,
+        config=config,
+        group=group,
+    )
+    return [column, matmul]

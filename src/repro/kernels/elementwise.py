@@ -1,0 +1,71 @@
+"""Pointwise kernel family (activations, gate math, optimizer updates).
+
+Pointwise kernels are bandwidth-streaming: they read their operands
+once, apply a few VALU ops per element, and write the result.  Like real
+DNN libraries, the family has vectorised and scalar variants plus
+grid-size specialisations, so the concrete kernel *name* depends on the
+element count and alignment — another source of the Fig 5 effect.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+
+__all__ = ["elementwise"]
+
+
+def _variant_name(op: str, elements: int, inner_dim: int) -> str:
+    # Vectorised loads need the contiguous (innermost) dimension aligned.
+    vector_width = 4 if inner_dim % 4 == 0 else 1
+    if elements >= 1 << 22:
+        grid_class = "persistent"
+    elif elements >= 1 << 16:
+        grid_class = "tiled"
+    else:
+        grid_class = "small"
+    return f"ew_{op}_v{vector_width}_{grid_class}"
+
+
+def elementwise(
+    op: str,
+    elements: int,
+    *,
+    reads_per_element: int = 1,
+    writes_per_element: int = 1,
+    flops_per_element: float = 1.0,
+    group: str = "scalar-op",
+    inner_dim: int | None = None,
+) -> KernelInvocation:
+    """A pointwise kernel over ``elements`` values.
+
+    ``reads_per_element``/``writes_per_element`` count FP32 operands:
+    an LSTM gate fusion reads four pre-activations plus the previous
+    cell state, a SGD update reads a weight and a gradient and writes
+    the weight, and so on.  ``inner_dim`` is the tensor's contiguous
+    dimension; its alignment decides whether the vectorised variant can
+    dispatch (sequence-length-dependent for sequence-major tensors).
+    """
+    if elements <= 0:
+        raise ValueError(f"elementwise kernel needs elements > 0, got {elements}")
+    if inner_dim is None:
+        inner_dim = elements
+    read_bytes = elements * reads_per_element * FLOAT_BYTES
+    write_bytes = elements * writes_per_element * FLOAT_BYTES
+    return make_invocation(
+        name=_variant_name(op, elements, inner_dim),
+        op=op,
+        group=group,
+        shape=(elements,),
+        flops=elements * flops_per_element,
+        work_items=elements,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+        # Streaming kernels barely reuse; transcendental-heavy ops issue
+        # more slowly than pure FMA code.
+        issue_efficiency=0.50,
+        workgroup_size=256,
+        l1_reuse_fraction=0.05,
+        l1_working_set=256 * FLOAT_BYTES * reads_per_element,
+        l2_reuse_fraction=0.0,
+        l2_working_set=read_bytes,
+    )

@@ -1,0 +1,69 @@
+"""Embedding lookup kernels.
+
+A lookup gathers one ``hidden``-wide row per token from a
+``vocab x hidden`` table.  Row addresses are data-dependent, so spatial
+locality is poor and the only cache help comes from the table itself
+staying resident — which it does not for realistic vocabularies
+(GNMT: 36549 x 1024 x 4 B ≈ 150 MB).  That is the paper's Key
+Observation 6: vocabulary size determines a real fraction of iteration
+time, so sampled runs must keep the full vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+
+__all__ = ["embedding_gather", "embedding_scatter_grad"]
+
+
+def embedding_gather(
+    tokens: int, hidden: int, vocab: int, group: str = "embedding"
+) -> KernelInvocation:
+    """Forward lookup of ``tokens`` rows from the table."""
+    if min(tokens, hidden, vocab) <= 0:
+        raise ValueError(f"embedding dims must be positive: {(tokens, hidden, vocab)}")
+    row_bytes = hidden * FLOAT_BYTES
+    table_bytes = vocab * row_bytes
+    gathered = tokens * row_bytes
+    return make_invocation(
+        name="embedding_gather_rows",
+        op="embedding",
+        group=group,
+        shape=(tokens, hidden, vocab),
+        flops=0.0,
+        work_items=tokens * hidden,
+        read_bytes=gathered + tokens * FLOAT_BYTES,  # rows plus indices
+        write_bytes=gathered,
+        issue_efficiency=0.5,
+        # Repeated tokens (stop words) re-hit their rows — if the hot
+        # subset of the table fits.
+        l1_reuse_fraction=0.02,
+        l1_working_set=row_bytes,
+        l2_reuse_fraction=0.25,
+        l2_working_set=table_bytes,
+    )
+
+
+def embedding_scatter_grad(
+    tokens: int, hidden: int, vocab: int, group: str = "embedding"
+) -> KernelInvocation:
+    """Backward scatter-add of token gradients into the table."""
+    if min(tokens, hidden, vocab) <= 0:
+        raise ValueError(f"embedding dims must be positive: {(tokens, hidden, vocab)}")
+    row_bytes = hidden * FLOAT_BYTES
+    moved = tokens * row_bytes
+    return make_invocation(
+        name="embedding_scatter_add",
+        op="embedding_grad",
+        group=group,
+        shape=(tokens, hidden, vocab),
+        flops=tokens * hidden,  # one add per gathered element
+        work_items=tokens * hidden,
+        read_bytes=2 * moved,  # gradient plus read-modify-write of rows
+        write_bytes=moved,
+        issue_efficiency=0.4,
+        l1_reuse_fraction=0.02,
+        l1_working_set=row_bytes,
+        l2_reuse_fraction=0.25,
+        l2_working_set=vocab * row_bytes,
+    )

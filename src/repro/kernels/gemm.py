@@ -1,0 +1,132 @@
+"""GEMM kernel family with rocBLAS-style macro-tile variants.
+
+A GEMM ``C[M,N] = A[M,K] @ B[K,N]`` is served by one of several compiled
+variants, each specialised for a macro-tile ``MT_m x MT_n``.  Variant
+choice is size-dependent: big square tiles amortise loads best but waste
+lanes on small or skinny problems, so a 64-token classifier GEMM and a
+6000-token one select *different kernels* — the mechanism behind the
+paper's Fig 5 (kernel sets differ across sequence lengths) and Key
+Observation 3 (one kernel, different dims across iterations).
+
+Selection is by predicted runtime on the target device (the library's
+autotune ground truth); :mod:`repro.kernels.autotune` layers the "first
+epoch tries everything" behaviour on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import KernelSelectionError
+from repro.hw.config import HardwareConfig
+from repro.hw.timing import time_work
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+
+__all__ = ["GemmVariant", "GEMM_VARIANTS", "gemm", "gemm_variants", "build_gemm"]
+
+
+@dataclass(frozen=True)
+class GemmVariant:
+    """A compiled GEMM kernel specialised for one macro-tile."""
+
+    tile_m: int
+    tile_n: int
+    #: K-slice streamed through LDS per buffer swap.
+    depth_u: int
+    #: Fraction of peak a fully utilised tile reaches (bigger tiles
+    #: have denser inner loops).
+    issue_efficiency: float
+
+    @property
+    def name(self) -> str:
+        return f"Cijk_Ailk_Bljk_SB_MT{self.tile_m}x{self.tile_n}x{self.depth_u}"
+
+
+#: The variant family.  Tile sizes and efficiencies follow the usual
+#: rocBLAS assembly-kernel ladder: large square tiles near peak, small
+#: and skinny tiles progressively cheaper per tile but less efficient.
+GEMM_VARIANTS: tuple[GemmVariant, ...] = (
+    GemmVariant(tile_m=128, tile_n=128, depth_u=16, issue_efficiency=0.88),
+    GemmVariant(tile_m=128, tile_n=64, depth_u=16, issue_efficiency=0.84),
+    GemmVariant(tile_m=64, tile_n=128, depth_u=16, issue_efficiency=0.84),
+    GemmVariant(tile_m=64, tile_n=64, depth_u=16, issue_efficiency=0.78),
+    GemmVariant(tile_m=64, tile_n=32, depth_u=32, issue_efficiency=0.70),
+    GemmVariant(tile_m=32, tile_n=64, depth_u=32, issue_efficiency=0.70),
+    GemmVariant(tile_m=32, tile_n=32, depth_u=32, issue_efficiency=0.60),
+    GemmVariant(tile_m=16, tile_n=64, depth_u=32, issue_efficiency=0.52),
+    GemmVariant(tile_m=16, tile_n=16, depth_u=64, issue_efficiency=0.40),
+)
+
+
+def build_gemm(
+    variant: GemmVariant, m: int, n: int, k: int, group: str = "gemm"
+) -> KernelInvocation:
+    """Materialise ``variant`` for a concrete ``M x N x K`` problem."""
+    if min(m, n, k) <= 0:
+        raise KernelSelectionError(f"GEMM dims must be positive, got {(m, n, k)}")
+    tiles_m = math.ceil(m / variant.tile_m)
+    tiles_n = math.ceil(n / variant.tile_n)
+    workgroups = tiles_m * tiles_n
+    padded_m = tiles_m * variant.tile_m
+    padded_n = tiles_n * variant.tile_n
+    # Libraries compile separate exact-tile and edge-tile kernels; which
+    # one dispatches depends on whether the problem divides the tile —
+    # a per-sequence-length property (one source of the Fig 5 effect).
+    edge_suffix = "" if (m % variant.tile_m == 0 and n % variant.tile_n == 0) else "_edge"
+
+    # Each workgroup streams an A panel (tile_m x K) and a B panel
+    # (K x tile_n) through LDS; L1 sees each panel once per workgroup.
+    read_bytes = workgroups * (variant.tile_m + variant.tile_n) * k * FLOAT_BYTES
+    unique_bytes = (m * k + k * n) * FLOAT_BYTES
+    l2_reuse = 0.0
+    if read_bytes > 0:
+        l2_reuse = max(0.0, 1.0 - unique_bytes / read_bytes)
+
+    return make_invocation(
+        name=variant.name + edge_suffix,
+        op="gemm",
+        group=group,
+        shape=(m, n, k),
+        # Padded tiles execute wasted lanes: they cost time and VALU
+        # instructions just like the real kernels do.
+        flops=2.0 * padded_m * padded_n * k,
+        work_items=workgroups * 256,
+        read_bytes=read_bytes,
+        write_bytes=m * n * FLOAT_BYTES,
+        issue_efficiency=variant.issue_efficiency,
+        # Line-granularity locality within a K-slice of both panels.
+        l1_reuse_fraction=0.30,
+        l1_working_set=(variant.tile_m + variant.tile_n)
+        * variant.depth_u
+        * FLOAT_BYTES,
+        l2_reuse_fraction=l2_reuse,
+        l2_working_set=unique_bytes,
+    )
+
+
+def gemm_variants(m: int, n: int, k: int, group: str = "gemm") -> list[KernelInvocation]:
+    """All candidate invocations for this problem (the autotune menu)."""
+    return [build_gemm(variant, m, n, k, group) for variant in GEMM_VARIANTS]
+
+
+@lru_cache(maxsize=65536)
+def _select(m: int, n: int, k: int, config: HardwareConfig) -> GemmVariant:
+    """Pick the fastest variant for this shape on ``config``."""
+    best: GemmVariant | None = None
+    best_time = math.inf
+    for variant in GEMM_VARIANTS:
+        candidate = build_gemm(variant, m, n, k)
+        elapsed, _, _ = time_work(candidate.work, config)
+        if elapsed < best_time:
+            best, best_time = variant, elapsed
+    assert best is not None  # GEMM_VARIANTS is non-empty
+    return best
+
+
+def gemm(
+    m: int, n: int, k: int, config: HardwareConfig, group: str = "gemm"
+) -> KernelInvocation:
+    """The invocation the library would dispatch for this GEMM."""
+    return build_gemm(_select(m, n, k, config), m, n, k, group)

@@ -1,0 +1,46 @@
+"""Data-movement kernels: copies, transposes, concatenations, padding.
+
+Frameworks surround every recurrent layer with layout shuffles (time-
+major to batch-major, bidirectional concat, sequence padding); these are
+pure bandwidth kernels but they launch in numbers that scale with the
+network depth, so they matter for short sequences where launch overhead
+is a visible fraction of the iteration.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+
+__all__ = ["copy_transform"]
+
+_KNOWN_TRANSFORMS = ("copy", "transpose", "concat", "pad", "slice")
+
+
+def copy_transform(
+    transform: str, elements: int, group: str = "memops"
+) -> KernelInvocation:
+    """A data-movement kernel over ``elements`` FP32 values."""
+    if transform not in _KNOWN_TRANSFORMS:
+        raise ValueError(
+            f"unknown transform {transform!r}; expected one of {_KNOWN_TRANSFORMS}"
+        )
+    if elements <= 0:
+        raise ValueError(f"transform needs elements > 0, got {elements}")
+    bytes_moved = elements * FLOAT_BYTES
+    # Transposes lose coalescing on one side: model as extra read traffic.
+    read_multiplier = 2.0 if transform == "transpose" else 1.0
+    return make_invocation(
+        name=f"tensor_{transform}_v4",
+        op=transform,
+        group=group,
+        shape=(elements,),
+        flops=0.0,
+        work_items=max(elements // 4, 1),
+        read_bytes=bytes_moved * read_multiplier,
+        write_bytes=bytes_moved,
+        issue_efficiency=0.6,
+        l1_reuse_fraction=0.25 if transform == "transpose" else 0.0,
+        l1_working_set=64 * 64 * FLOAT_BYTES,  # transpose tile
+        l2_reuse_fraction=0.0,
+        l2_working_set=bytes_moved,
+    )

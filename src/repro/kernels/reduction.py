@@ -1,0 +1,56 @@
+"""Reduction kernel family (softmax partials, norms, loss sums).
+
+Reductions read a large input and emit a small output.  The family is
+specialised on reduction *span* (how many elements fold into each
+output), because short spans use one-workgroup-per-row kernels while
+long spans need multi-pass tree kernels — size-dependent names again.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+
+__all__ = ["reduction"]
+
+
+def _variant_name(op: str, span: int) -> str:
+    if span >= 1 << 14:
+        return f"reduce_{op}_multipass"
+    if span >= 1 << 11:
+        return f"reduce_{op}_wg512"
+    if span >= 1 << 8:
+        return f"reduce_{op}_wg256"
+    if span >= 1 << 7:
+        return f"reduce_{op}_wg128"
+    return f"reduce_{op}_warp"
+
+
+def reduction(
+    op: str,
+    rows: int,
+    span: int,
+    *,
+    flops_per_element: float = 1.0,
+    group: str = "reduce",
+) -> KernelInvocation:
+    """Reduce ``rows`` independent spans of ``span`` elements each."""
+    if rows <= 0 or span <= 0:
+        raise ValueError(f"reduction needs positive rows/span, got {(rows, span)}")
+    elements = rows * span
+    return make_invocation(
+        name=_variant_name(op, span),
+        op=op,
+        group=group,
+        shape=(rows, span),
+        flops=elements * flops_per_element,
+        work_items=elements,
+        read_bytes=elements * FLOAT_BYTES,
+        write_bytes=rows * FLOAT_BYTES,
+        issue_efficiency=0.45,
+        workgroup_size=256,
+        # Tree reductions re-read partials at workgroup scope.
+        l1_reuse_fraction=0.15,
+        l1_working_set=min(span, 4096) * FLOAT_BYTES,
+        l2_reuse_fraction=0.0,
+        l2_working_set=elements * FLOAT_BYTES,
+    )

@@ -1,0 +1,59 @@
+"""Registry of kernel families and their compiled variants.
+
+Provides the introspection surface the profiling layer needs: which
+variant names exist per family (the library's "binary catalogue"), and
+which family a concrete invocation name belongs to.  Mirrors how a
+profiler maps mangled kernel names back to library operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.kernels.gemm import GEMM_VARIANTS
+
+__all__ = ["KernelRegistry", "default_registry"]
+
+
+class KernelRegistry:
+    """Maps kernel families to variant-name prefixes and vice versa."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, list[str]] = {}
+
+    def register_family(self, family: str, prefixes: Iterable[str]) -> None:
+        names = list(prefixes)
+        if not names:
+            raise ValueError(f"family {family!r} needs at least one prefix")
+        if family in self._families:
+            raise ValueError(f"family {family!r} already registered")
+        self._families[family] = names
+
+    @property
+    def families(self) -> tuple[str, ...]:
+        return tuple(self._families)
+
+    def prefixes(self, family: str) -> tuple[str, ...]:
+        try:
+            return tuple(self._families[family])
+        except KeyError:
+            raise KeyError(f"unknown kernel family {family!r}") from None
+
+    def family_of(self, kernel_name: str) -> str:
+        """Classify a concrete kernel name; 'unknown' if unrecognised."""
+        for family, prefixes in self._families.items():
+            if any(kernel_name.startswith(prefix) for prefix in prefixes):
+                return family
+        return "unknown"
+
+
+def default_registry() -> KernelRegistry:
+    """Registry covering every kernel family this library emits."""
+    registry = KernelRegistry()
+    registry.register_family("gemm", [variant.name for variant in GEMM_VARIANTS])
+    registry.register_family("elementwise", ["ew_"])
+    registry.register_family("reduction", ["reduce_"])
+    registry.register_family("im2col", ["im2col_"])
+    registry.register_family("embedding", ["embedding_"])
+    registry.register_family("memops", ["tensor_"])
+    return registry

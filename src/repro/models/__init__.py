@@ -1,0 +1,35 @@
+"""Network models and their lowering to kernel schedules.
+
+The three networks the paper uses:
+
+* :func:`~repro.models.gnmt.build_gnmt` — Google's Neural Machine
+  Translation: encoder of seven unidirectional plus one bidirectional
+  LSTM layers, eight-layer unidirectional LSTM decoder, attention, and
+  a fully connected classifier (paper §VI-B).
+* :func:`~repro.models.ds2.build_ds2` — DeepSpeech2: two convolutional
+  layers, five bidirectional GRU layers, one batch-normalization and
+  one fully-connected layer.
+* :func:`~repro.models.cnn.build_cnn` — a fixed-input convolutional
+  network used only for the Fig 3 contrast (homogeneous iterations).
+"""
+
+from repro.models.cnn import build_cnn
+from repro.models.convs2s import build_convs2s
+from repro.models.ds2 import build_ds2
+from repro.models.gnmt import build_gnmt
+from repro.models.schedule import KernelSchedule
+from repro.models.sequential import SequentialModel
+from repro.models.spec import IterationInputs, Model
+from repro.models.transformer import build_transformer
+
+__all__ = [
+    "build_cnn",
+    "build_convs2s",
+    "build_ds2",
+    "build_gnmt",
+    "build_transformer",
+    "KernelSchedule",
+    "SequentialModel",
+    "IterationInputs",
+    "Model",
+]

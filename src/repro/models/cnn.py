@@ -1,0 +1,83 @@
+"""Fixed-input convolutional network (the Fig 3 contrast).
+
+CNNs consume fixed-size inputs — every image is scaled to the same
+resolution — so every training iteration performs identical work.  This
+model exists to demonstrate that contrast: its lowering ignores the
+iteration's sequence length entirely, making ``sequence_dependent``
+``False`` and its per-iteration runtime constant.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers.base import Layer
+from repro.models.layers.conv2d import Conv2dLayer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.losses import SoftmaxCrossEntropyLayer
+from repro.models.sequential import SequentialModel
+from repro.models.spec import IterationInputs
+
+__all__ = ["CnnModel", "build_cnn"]
+
+_IMAGE_SIZE = 224
+_NUM_CLASSES = 1000
+
+
+class _GlobalPoolClassifier(DenseLayer):
+    """Classifier applied after global pooling: one position per image."""
+
+    def out_steps(self, in_steps: int) -> int:
+        return 1
+
+    def forward(self, batch, steps, config):
+        return super().forward(batch, 1, config)
+
+    def backward(self, batch, steps, config):
+        return super().backward(batch, 1, config)
+
+
+class CnnModel(SequentialModel):
+    """A ResNet-style stack at a fixed 224x224 input."""
+
+    def __init__(self, image_size: int = _IMAGE_SIZE, classes: int = _NUM_CLASSES):
+        heights = [image_size]
+        convs: list[Layer] = []
+        plan = [
+            # (c_in, c_out, kernel, stride)
+            (3, 64, 7, 2),
+            (64, 128, 3, 2),
+            (128, 256, 3, 2),
+            (256, 256, 3, 1),
+            (256, 512, 3, 2),
+            (512, 512, 3, 2),
+        ]
+        height = image_size
+        for index, (c_in, c_out, kernel, stride) in enumerate(plan):
+            conv = Conv2dLayer(
+                f"conv{index}", c_in=c_in, c_out=c_out, height=height,
+                kernel_h=kernel, kernel_w=kernel,
+                stride_h=stride, stride_w=stride,
+                pad_h=kernel // 2, pad_w=kernel // 2,
+            )
+            convs.append(conv)
+            height = conv.out_height
+            heights.append(height)
+
+        classifier = _GlobalPoolClassifier("classifier", 512, classes)
+        super().__init__(
+            "cnn", [*convs, classifier], SoftmaxCrossEntropyLayer("ce", classes)
+        )
+        self.image_size = image_size
+
+    def input_steps(self, inputs: IterationInputs) -> int:
+        # Images are rescaled to a fixed size: the iteration's sequence
+        # length never reaches the layers.
+        return self.image_size
+
+    @property
+    def sequence_dependent(self) -> bool:
+        return False
+
+
+def build_cnn(image_size: int = _IMAGE_SIZE) -> CnnModel:
+    """The fixed-input CNN used for the Fig 3 comparison."""
+    return CnnModel(image_size=image_size)

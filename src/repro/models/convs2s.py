@@ -1,0 +1,68 @@
+"""Convolutional sequence model (paper §VII-B's ConvS2S family).
+
+A stack of 1-D convolutions over the time axis with gated linear units.
+Like DS2's front-end — and unlike RNNs — all kernels are batched, but
+the receptive-field convolutions still scale directly with sequence
+length, so SeqPoint's SL-binning applies unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers.conv2d import Conv2dLayer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.embedding import EmbeddingLayer
+from repro.models.layers.losses import SoftmaxCrossEntropyLayer
+from repro.models.sequential import SequentialModel
+
+__all__ = ["ConvS2SModel", "build_convs2s"]
+
+
+class _GluConv(Conv2dLayer):
+    """1-D convolution emitting 2x channels, halved by a GLU gate.
+
+    Modelled as a height-1 2-D convolution whose width axis is time;
+    "same" padding keeps the sequence length unchanged.
+    """
+
+    def __init__(self, name: str, channels: int, kernel_width: int):
+        super().__init__(
+            name,
+            c_in=channels,
+            c_out=2 * channels,
+            height=1,
+            kernel_h=1,
+            kernel_w=kernel_width,
+            pad_w=kernel_width // 2,
+        )
+
+    def out_steps(self, in_steps: int) -> int:
+        # Same padding with stride 1: GLU halves channels, not time.
+        return in_steps
+
+
+class ConvS2SModel(SequentialModel):
+    """Embedding -> N gated conv blocks -> vocabulary classifier."""
+
+    def __init__(
+        self,
+        vocab: int = 30_000,
+        hidden: int = 512,
+        layers: int = 8,
+        kernel_width: int = 5,
+    ):
+        stack = [EmbeddingLayer("embedding", vocab=vocab, hidden=hidden)]
+        for index in range(layers):
+            stack.append(_GluConv(f"conv{index}", hidden, kernel_width))
+        stack.append(DenseLayer("classifier", hidden, vocab))
+        super().__init__(
+            "convs2s", stack, SoftmaxCrossEntropyLayer("ce", vocab)
+        )
+        self.vocab = vocab
+        self.hidden = hidden
+
+
+def build_convs2s(
+    vocab: int = 30_000, hidden: int = 512, layers: int = 8
+) -> ConvS2SModel:
+    """A ConvS2S-style gated convolutional sequence model."""
+    return ConvS2SModel(vocab=vocab, hidden=hidden, layers=layers)

@@ -1,0 +1,80 @@
+"""Baidu's DeepSpeech2 model (paper §VI-B).
+
+Layers as the paper lists them: two convolutional layers, one
+batch-normalization layer, five bidirectional GRU layers, and one
+fully-connected layer, trained with CTC.  Dimensions follow the MLPerf
+reference: 161 spectrogram frequency bins, GRU hidden 800 (so the
+bidirectional feature width is 1600 — Table I's ``K``), and a
+29-character alphabet (Table I's ``M=29``).
+
+The convolutional front-end strides 2 along time, so an utterance with
+``SL`` spectrogram frames reaches the GRUs as ``(SL-1)//2 + 1`` steps —
+SL 804 lowers the classifier GEMM with ``N = 64 * 402 = 25728``,
+matching Table I exactly.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers.batchnorm import BatchNormLayer
+from repro.models.layers.conv2d import Conv2dLayer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.losses import CTCLossLayer
+from repro.models.layers.recurrent import GRULayer
+from repro.models.sequential import SequentialModel
+
+__all__ = ["Ds2Model", "build_ds2", "DS2_ALPHABET", "DS2_HIDDEN", "DS2_FREQ_BINS"]
+
+DS2_ALPHABET = 29
+DS2_HIDDEN = 800
+DS2_FREQ_BINS = 161
+_GRU_LAYERS = 5
+_CONV1_CHANNELS = 32
+_CONV2_CHANNELS = 32
+
+
+class Ds2Model(SequentialModel):
+    """DeepSpeech2 as a sequential stack."""
+
+    def __init__(
+        self,
+        alphabet: int = DS2_ALPHABET,
+        hidden: int = DS2_HIDDEN,
+        freq_bins: int = DS2_FREQ_BINS,
+        gru_layers: int = _GRU_LAYERS,
+    ):
+        conv1 = Conv2dLayer(
+            "conv1", c_in=1, c_out=_CONV1_CHANNELS, height=freq_bins,
+            kernel_h=41, kernel_w=11, stride_h=2, stride_w=2,
+            pad_h=20, pad_w=5,
+        )
+        bn = BatchNormLayer(
+            "bn1", channels=_CONV1_CHANNELS, spatial_per_step=conv1.out_height
+        )
+        conv2 = Conv2dLayer(
+            "conv2", c_in=_CONV1_CHANNELS, c_out=_CONV2_CHANNELS,
+            height=conv1.out_height,
+            kernel_h=21, kernel_w=11, stride_h=2, stride_w=1,
+            pad_h=10, pad_w=5,
+        )
+        gru_input = _CONV2_CHANNELS * conv2.out_height
+
+        layers = [conv1, bn, conv2]
+        features = gru_input
+        for index in range(gru_layers):
+            layers.append(
+                GRULayer(f"gru{index}", features, hidden, bidirectional=True)
+            )
+            features = 2 * hidden
+        layers.append(DenseLayer("classifier", features, alphabet))
+
+        super().__init__("ds2", layers, CTCLossLayer("ctc", alphabet))
+        self.alphabet = alphabet
+        self.hidden = hidden
+        self.freq_bins = freq_bins
+
+
+def build_ds2(
+    alphabet: int = DS2_ALPHABET, hidden: int = DS2_HIDDEN
+) -> Ds2Model:
+    """The paper's DS2 configuration."""
+    return Ds2Model(alphabet=alphabet, hidden=hidden)

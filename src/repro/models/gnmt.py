@@ -1,0 +1,141 @@
+"""Google's Neural Machine Translation model (paper §VI-B).
+
+Components as the paper lists them: an encoder with seven
+unidirectional and one bidirectional LSTM layers, a decoder with eight
+unidirectional LSTM layers, an attention network connecting them, and a
+fully-connected classifier over the vocabulary.  Default dimensions
+match the paper's Table I shapes: hidden 1024, vocabulary 36549.
+
+Source and target lengths differ per iteration; the dataset supplies
+``tgt_len``, and when absent it is derived from the source length with
+the corpus' average expansion ratio so that lowering stays a pure
+function of the logged sequence length (Key Observation 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.models.layers.attention import AttentionLayer
+from repro.models.layers.base import Layer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.embedding import EmbeddingLayer
+from repro.models.layers.losses import SoftmaxCrossEntropyLayer
+from repro.models.layers.optimizer import sgd_update_kernels
+from repro.models.layers.recurrent import LSTMLayer
+from repro.models.schedule import KernelSchedule
+from repro.models.spec import IterationInputs, Model
+
+__all__ = ["GnmtModel", "build_gnmt", "GNMT_VOCAB", "GNMT_HIDDEN"]
+
+GNMT_VOCAB = 36549
+GNMT_HIDDEN = 1024
+
+#: Average target/source token ratio used when a dataset does not give
+#: an explicit decoder length (English→Vietnamese expands slightly).
+_TGT_RATIO = 1.1
+
+
+class GnmtModel(Model):
+    """GNMT: bi/uni LSTM encoder, LSTM decoder, attention, classifier."""
+
+    def __init__(
+        self,
+        vocab: int = GNMT_VOCAB,
+        hidden: int = GNMT_HIDDEN,
+        encoder_layers: int = 8,
+        decoder_layers: int = 8,
+    ):
+        super().__init__("gnmt")
+        if encoder_layers < 2 or decoder_layers < 1:
+            raise ConfigurationError(
+                "GNMT needs >=2 encoder layers (first is bidirectional) "
+                "and >=1 decoder layer"
+            )
+        self.vocab = vocab
+        self.hidden = hidden
+
+        self.src_embedding = EmbeddingLayer("src_embedding", vocab, hidden)
+        self.tgt_embedding = EmbeddingLayer("tgt_embedding", vocab, hidden)
+
+        self.encoder: list[Layer] = [
+            LSTMLayer("enc0_bi", hidden, hidden, bidirectional=True)
+        ]
+        # The bidirectional layer emits 2H; the first stacked layer
+        # consumes it, the rest run at H.
+        self.encoder.append(LSTMLayer("enc1", 2 * hidden, hidden))
+        for index in range(2, encoder_layers):
+            self.encoder.append(LSTMLayer(f"enc{index}", hidden, hidden))
+
+        # Input feeding: the previous attentional state is concatenated
+        # with the target embedding, so the first decoder layer sees 2H.
+        self.decoder: list[Layer] = [LSTMLayer("dec0", 2 * hidden, hidden)]
+        for index in range(1, decoder_layers):
+            self.decoder.append(LSTMLayer(f"dec{index}", hidden, hidden))
+
+        self.attention = AttentionLayer("attention", hidden)
+        self.classifier = DenseLayer("classifier", hidden, vocab)
+        self.loss = SoftmaxCrossEntropyLayer("softmax_ce", vocab)
+
+    def target_steps(self, inputs: IterationInputs) -> int:
+        if inputs.tgt_len is not None:
+            return inputs.tgt_len
+        return max(2, round(inputs.seq_len * _TGT_RATIO))
+
+    def _all_layers(self) -> list[Layer]:
+        return [
+            self.src_embedding,
+            *self.encoder,
+            self.tgt_embedding,
+            *self.decoder,
+            self.attention,
+            self.classifier,
+        ]
+
+    def lower_forward(
+        self, inputs: IterationInputs, config: HardwareConfig
+    ) -> KernelSchedule:
+        batch, src = inputs.batch, inputs.seq_len
+        tgt = self.target_steps(inputs)
+        self.attention.bind_source(src)
+
+        schedule = KernelSchedule()
+        schedule.extend(self.src_embedding.forward(batch, src, config))
+        for layer in self.encoder:
+            schedule.extend(layer.forward(batch, src, config))
+        schedule.extend(self.tgt_embedding.forward(batch, tgt, config))
+        for layer in self.decoder:
+            schedule.extend(layer.forward(batch, tgt, config))
+        schedule.extend(self.attention.forward(batch, tgt, config))
+        schedule.extend(self.classifier.forward(batch, tgt, config))
+        schedule.extend(self.loss.forward(batch, tgt, config))
+        return schedule
+
+    def lower_iteration(
+        self, inputs: IterationInputs, config: HardwareConfig
+    ) -> KernelSchedule:
+        batch, src = inputs.batch, inputs.seq_len
+        tgt = self.target_steps(inputs)
+
+        schedule = self.lower_forward(inputs, config)
+        schedule.extend(self.loss.backward(batch, tgt, config))
+        schedule.extend(self.classifier.backward(batch, tgt, config))
+        schedule.extend(self.attention.backward(batch, tgt, config))
+        for layer in reversed(self.decoder):
+            schedule.extend(layer.backward(batch, tgt, config))
+        schedule.extend(self.tgt_embedding.backward(batch, tgt, config))
+        for layer in reversed(self.encoder):
+            schedule.extend(layer.backward(batch, src, config))
+        schedule.extend(self.src_embedding.backward(batch, src, config))
+        schedule.extend(sgd_update_kernels(self._all_layers()))
+        return schedule
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self._all_layers())
+
+
+def build_gnmt(
+    vocab: int = GNMT_VOCAB, hidden: int = GNMT_HIDDEN
+) -> GnmtModel:
+    """The paper's GNMT configuration."""
+    return GnmtModel(vocab=vocab, hidden=hidden)

@@ -1,0 +1,25 @@
+"""Layer library: each layer lowers to forward/backward kernel streams."""
+
+from repro.models.layers.attention import AttentionLayer
+from repro.models.layers.base import Layer
+from repro.models.layers.batchnorm import BatchNormLayer
+from repro.models.layers.conv2d import Conv2dLayer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.embedding import EmbeddingLayer
+from repro.models.layers.losses import CTCLossLayer, SoftmaxCrossEntropyLayer
+from repro.models.layers.recurrent import GRULayer, LSTMLayer
+from repro.models.layers.optimizer import sgd_update_kernels
+
+__all__ = [
+    "Layer",
+    "DenseLayer",
+    "EmbeddingLayer",
+    "Conv2dLayer",
+    "BatchNormLayer",
+    "LSTMLayer",
+    "GRULayer",
+    "AttentionLayer",
+    "SoftmaxCrossEntropyLayer",
+    "CTCLossLayer",
+    "sgd_update_kernels",
+]

@@ -1,0 +1,59 @@
+"""Batch-normalization layer (per-channel statistics over batch x space)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.elementwise import elementwise
+from repro.kernels.reduction import reduction
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["BatchNormLayer"]
+
+
+class BatchNormLayer(Layer):
+    """Normalises ``channels`` feature maps of ``spatial_per_step`` values.
+
+    Per-step spatial size is fixed (frequency bins x 1 for DS2); the
+    reduction span is ``batch * steps * spatial_per_step``, so both the
+    statistics kernels and the normalisation kernel scale with SL.
+    """
+
+    def __init__(self, name: str, channels: int, spatial_per_step: int):
+        super().__init__(name)
+        if channels <= 0 or spatial_per_step <= 0:
+            raise ConfigurationError(
+                f"{name}: channels/spatial must be positive"
+            )
+        self.channels = channels
+        self.spatial_per_step = spatial_per_step
+
+    def _span(self, batch: int, steps: int) -> int:
+        return batch * steps * self.spatial_per_step
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        span = self._span(batch, steps)
+        yield reduction("bn_mean", self.channels, span), 1
+        yield reduction("bn_var", self.channels, span, flops_per_element=2), 1
+        yield elementwise(
+            "bn_norm", self.channels * span,
+            reads_per_element=2, writes_per_element=1, flops_per_element=5,
+            inner_dim=steps,
+        ), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        span = self._span(batch, steps)
+        yield reduction("bn_dgamma", self.channels, span, flops_per_element=2), 1
+        yield reduction("bn_dbeta", self.channels, span), 1
+        yield elementwise(
+            "bn_dx", self.channels * span,
+            reads_per_element=3, writes_per_element=1, flops_per_element=7,
+            inner_dim=steps,
+        ), 1
+
+    def param_count(self) -> int:
+        return 2 * self.channels

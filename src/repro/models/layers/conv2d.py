@@ -1,0 +1,107 @@
+"""2-D convolution layer (im2col + GEMM lowering).
+
+For DS2 the "width" axis is time: strides along it shrink the sequence,
+so :meth:`out_steps` is how the GRU stack below sees fewer steps than
+the spectrogram has (SL 804 → 402 post-conv, reproducing Table I's
+``N = 64 * 402``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.conv import Conv2dShape, conv2d_im2col
+from repro.kernels.elementwise import elementwise
+from repro.kernels.gemm import gemm
+from repro.kernels.memops import copy_transform
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["Conv2dLayer"]
+
+
+class Conv2dLayer(Layer):
+    """Convolution over ``[batch, c_in, height, width(=steps)]``.
+
+    ``height`` is a fixed spatial axis (frequency bins for DS2, image
+    rows for the CNN); ``width`` is the dynamic axis fed from ``steps``.
+    Padding is symmetric ("same"-style) per axis.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        c_in: int,
+        c_out: int,
+        height: int,
+        kernel_h: int,
+        kernel_w: int,
+        stride_h: int = 1,
+        stride_w: int = 1,
+        pad_h: int = 0,
+        pad_w: int = 0,
+    ):
+        super().__init__(name)
+        if min(c_in, c_out, height, kernel_h, kernel_w, stride_h, stride_w) <= 0:
+            raise ConfigurationError(f"{name}: conv dimensions must be positive")
+        if pad_h < 0 or pad_w < 0:
+            raise ConfigurationError(f"{name}: padding cannot be negative")
+        self.c_in = c_in
+        self.c_out = c_out
+        self.height = height
+        self.kernel_h = kernel_h
+        self.kernel_w = kernel_w
+        self.stride_h = stride_h
+        self.stride_w = stride_w
+        self.pad_h = pad_h
+        self.pad_w = pad_w
+
+    @property
+    def out_height(self) -> int:
+        return (self.height + 2 * self.pad_h - self.kernel_h) // self.stride_h + 1
+
+    def out_steps(self, in_steps: int) -> int:
+        return (in_steps + 2 * self.pad_w - self.kernel_w) // self.stride_w + 1
+
+    def _shape(self, batch: int, steps: int) -> Conv2dShape:
+        return Conv2dShape(
+            batch=batch,
+            c_in=self.c_in,
+            c_out=self.c_out,
+            in_h=self.height + 2 * self.pad_h,
+            in_w=steps + 2 * self.pad_w,
+            kernel_h=self.kernel_h,
+            kernel_w=self.kernel_w,
+            stride_h=self.stride_h,
+            stride_w=self.stride_w,
+        )
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        shape = self._shape(batch, steps)
+        for kernel in conv2d_im2col(shape, config, group="conv"):
+            yield kernel, 1
+        yield elementwise(
+            "bias_relu", self.c_out * shape.output_positions,
+            reads_per_element=2, writes_per_element=1, flops_per_element=2,
+            inner_dim=shape.out_w,
+        ), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        shape = self._shape(batch, steps)
+        positions = shape.output_positions
+        yield elementwise(
+            "relu_grad", self.c_out * positions,
+            reads_per_element=2, writes_per_element=1, flops_per_element=1,
+            inner_dim=shape.out_w,
+        ), 1
+        # dW = dY @ columns^T
+        yield gemm(self.c_out, shape.patch_size, positions, config, group="conv"), 1
+        # dX = W^T @ dY, then fold columns back (col2im).
+        yield gemm(shape.patch_size, positions, self.c_out, config, group="conv"), 1
+        yield copy_transform("pad", positions * shape.patch_size), 1
+
+    def param_count(self) -> int:
+        return self.c_out * (self.c_in * self.kernel_h * self.kernel_w + 1)

@@ -1,0 +1,71 @@
+"""Fully connected (classifier / projection) layer.
+
+Applied position-wise over the whole sequence, so its GEMM's ``N``
+dimension is ``batch * steps`` — the paper's Table I shapes
+(GNMT: ``M=36549, K=1024``; DS2: ``M=29, K=1600``) with ``N`` varying
+per iteration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.elementwise import elementwise
+from repro.kernels.gemm import gemm
+from repro.kernels.reduction import reduction
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["DenseLayer"]
+
+
+class DenseLayer(Layer):
+    """``out_features x in_features`` affine map over every position."""
+
+    def __init__(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        gemm_group: str = "GEMM-1",
+    ):
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError(
+                f"{name}: features must be positive, got "
+                f"{in_features}x{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.gemm_group = gemm_group
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        positions = batch * steps
+        yield gemm(
+            self.out_features, positions, self.in_features, config,
+            group=self.gemm_group,
+        ), 1
+        yield elementwise(
+            "bias_add", self.out_features * positions,
+            reads_per_element=2, writes_per_element=1, flops_per_element=1,
+        ), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        positions = batch * steps
+        # dX = W^T dY  — Table I's GEMM-b (e.g. GNMT M=1024, K=36549).
+        yield gemm(
+            self.in_features, positions, self.out_features, config,
+            group=self.gemm_group,
+        ), 1
+        # dW = dY X^T
+        yield gemm(
+            self.out_features, self.in_features, positions, config,
+            group=self.gemm_group,
+        ), 1
+        yield reduction("bias_grad", self.out_features, positions), 1
+
+    def param_count(self) -> int:
+        return self.out_features * (self.in_features + 1)

@@ -1,0 +1,36 @@
+"""Token-embedding layer (lookup table, vocab x hidden)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.embedding import embedding_gather, embedding_scatter_grad
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["EmbeddingLayer"]
+
+
+class EmbeddingLayer(Layer):
+    """Gathers one ``hidden``-wide vector per input token."""
+
+    def __init__(self, name: str, vocab: int, hidden: int):
+        super().__init__(name)
+        if vocab <= 0 or hidden <= 0:
+            raise ConfigurationError(
+                f"{name}: vocab/hidden must be positive, got {vocab}/{hidden}"
+            )
+        self.vocab = vocab
+        self.hidden = hidden
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        yield embedding_gather(batch * steps, self.hidden, self.vocab), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        yield embedding_scatter_grad(batch * steps, self.hidden, self.vocab), 1
+
+    def param_count(self) -> int:
+        return self.vocab * self.hidden

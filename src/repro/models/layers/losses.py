@@ -1,0 +1,97 @@
+"""Loss layers: softmax cross-entropy (GNMT) and CTC (DS2).
+
+The softmax CE works over ``[batch*steps, vocab]`` logits, so with
+GNMT's 36549-word vocabulary it moves more bytes than any other
+non-GEMM kernel — the paper's Key Observation 6 (vocabulary size is a
+considerable fraction of iteration time) falls out of this layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.elementwise import elementwise
+from repro.kernels.reduction import reduction
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["SoftmaxCrossEntropyLayer", "CTCLossLayer"]
+
+
+class SoftmaxCrossEntropyLayer(Layer):
+    """Softmax + cross-entropy over a ``vocab``-wide classifier output."""
+
+    def __init__(self, name: str, vocab: int):
+        super().__init__(name)
+        if vocab <= 0:
+            raise ConfigurationError(f"{name}: vocab must be positive")
+        self.vocab = vocab
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        rows = batch * steps
+        yield reduction("softmax_max", rows, self.vocab), 1
+        yield reduction("softmax_sum", rows, self.vocab, flops_per_element=2), 1
+        yield elementwise(
+            "softmax_norm", rows * self.vocab,
+            reads_per_element=1, writes_per_element=1, flops_per_element=3,
+        ), 1
+        yield reduction("ce_loss", batch, steps, flops_per_element=2), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        rows = batch * steps
+        yield elementwise(
+            "softmax_grad", rows * self.vocab,
+            reads_per_element=2, writes_per_element=1, flops_per_element=2,
+        ), 1
+
+
+class CTCLossLayer(Layer):
+    """Connectionist temporal classification loss (DS2).
+
+    The alpha/beta recursions walk the time axis step by step over a
+    label lattice whose width tracks the transcript length (modelled as
+    a fixed fraction of the sequence length).
+    """
+
+    #: Transcript symbols per acoustic step, empirically ~1 char per
+    #: 4 post-conv frames for read speech.
+    LABEL_FRACTION = 0.25
+
+    def __init__(self, name: str, alphabet: int):
+        super().__init__(name)
+        if alphabet <= 0:
+            raise ConfigurationError(f"{name}: alphabet must be positive")
+        self.alphabet = alphabet
+
+    def _lattice_width(self, steps: int) -> int:
+        return max(2, int(steps * self.LABEL_FRACTION) * 2 + 1)
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        rows = batch * steps
+        yield reduction("ctc_softmax", rows, self.alphabet), 1
+        yield elementwise(
+            "ctc_prob", rows * self.alphabet,
+            reads_per_element=1, writes_per_element=1, flops_per_element=2,
+        ), 1
+        width = self._lattice_width(steps)
+        # Alpha and beta recursions: one launch per time step each.
+        for op in ("ctc_alpha", "ctc_beta"):
+            yield elementwise(
+                op, batch * width,
+                reads_per_element=3, writes_per_element=1, flops_per_element=8,
+                inner_dim=width,
+            ), steps
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        rows = batch * steps
+        yield elementwise(
+            "ctc_grad", rows * self.alphabet,
+            reads_per_element=3, writes_per_element=1, flops_per_element=4,
+        ), 1

@@ -1,0 +1,30 @@
+"""Optimizer-update kernels (SGD with momentum).
+
+One fused update kernel per parameterised layer, as frameworks emit.
+Update work is independent of sequence length, which *dilutes* relative
+iteration-to-iteration variation for short sequences — part of why
+runtime-vs-SL (Fig 9) has a positive intercept rather than passing
+through the origin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.kernels.elementwise import elementwise
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["sgd_update_kernels"]
+
+
+def sgd_update_kernels(layers: Iterable[Layer]) -> KernelStream:
+    """Yield one momentum-SGD update kernel per parameterised layer."""
+    for layer in layers:
+        params = layer.param_count()
+        if params <= 0:
+            continue
+        # Reads weight, gradient, momentum; writes weight and momentum.
+        yield elementwise(
+            "sgd_momentum", params,
+            reads_per_element=3, writes_per_element=2, flops_per_element=4,
+        ), 1

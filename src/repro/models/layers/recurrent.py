@@ -1,0 +1,147 @@
+"""Recurrent layers: LSTM and GRU, unidirectional or bidirectional.
+
+The lowering follows the standard library implementation (cuDNN/MIOpen
+RNN): the *input* projection for all time steps is batched into one
+large GEMM (its size grows with SL — "GEMM-1" in the paper's kernel
+distribution figures), while the *recurrent* projection and the gate
+fusion launch once per step (their count grows with SL — "GEMM-2" and
+the scalar-op group).  This split is precisely the mechanism behind Key
+Observations 1-3: SL changes both the proportion of kernel groups and
+the sizes of individual kernels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.base import KernelInvocation
+from repro.kernels.elementwise import elementwise
+from repro.kernels.gemm import gemm
+from repro.kernels.memops import copy_transform
+from repro.kernels.reduction import reduction
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["RecurrentLayer", "LSTMLayer", "GRULayer"]
+
+
+class RecurrentLayer(Layer):
+    """Shared lowering for gated recurrent cells.
+
+    Subclasses fix ``gates`` (4 for LSTM, 3 for GRU) and the gate-math
+    cost.  ``bidirectional`` doubles every kernel (two directions) and
+    adds a concat of the two output halves.
+    """
+
+    #: Gate matrices per cell (LSTM: i, f, g, o; GRU: r, z, n).
+    gates: int
+    #: FP32 operands read/written and flops per element of gate fusion.
+    gate_reads: int
+    gate_writes: int
+    gate_flops: float
+
+    def __init__(
+        self, name: str, in_features: int, hidden: int, bidirectional: bool = False
+    ):
+        super().__init__(name)
+        if in_features <= 0 or hidden <= 0:
+            raise ConfigurationError(
+                f"{name}: features must be positive, got {in_features}/{hidden}"
+            )
+        self.in_features = in_features
+        self.hidden = hidden
+        self.bidirectional = bidirectional
+
+    @property
+    def directions(self) -> int:
+        return 2 if self.bidirectional else 1
+
+    @property
+    def out_features(self) -> int:
+        return self.hidden * self.directions
+
+    def _gate_fusion(self, batch: int, op: str) -> KernelInvocation:
+        return elementwise(
+            op, batch * self.hidden,
+            reads_per_element=self.gate_reads,
+            writes_per_element=self.gate_writes,
+            flops_per_element=self.gate_flops,
+        )
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        gate_width = self.gates * self.hidden
+        for _ in range(self.directions):
+            # Batched input projection: one GEMM over every time step.
+            yield gemm(
+                batch * steps, gate_width, self.in_features, config,
+                group="GEMM-1",
+            ), 1
+            # Recurrent projection and gate math: once per step.
+            yield gemm(batch, gate_width, self.hidden, config, group="GEMM-2"), steps
+            yield self._gate_fusion(batch, f"{self.cell_kind}_gates"), steps
+        if self.bidirectional:
+            yield copy_transform(
+                "concat", batch * steps * self.out_features
+            ), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        gate_width = self.gates * self.hidden
+        positions = batch * steps
+        if self.bidirectional:
+            yield copy_transform("slice", positions * self.out_features), 1
+        for _ in range(self.directions):
+            # Per-step: gate gradients, then gradient through recurrence.
+            yield self._gate_fusion(batch, f"{self.cell_kind}_gates_grad"), steps
+            yield gemm(batch, self.hidden, gate_width, config, group="GEMM-2"), steps
+            # Batched: input dgrad plus the two weight gradients.
+            yield gemm(
+                positions, self.in_features, gate_width, config, group="GEMM-1"
+            ), 1
+            yield gemm(
+                self.in_features, gate_width, positions, config, group="GEMM-1"
+            ), 1
+            yield gemm(
+                self.hidden, gate_width, positions, config, group="GEMM-1"
+            ), 1
+            yield reduction("bias_grad", gate_width, positions), 1
+
+    def param_count(self) -> int:
+        per_direction = self.gates * self.hidden * (
+            self.in_features + self.hidden + 1
+        )
+        return per_direction * self.directions
+
+    @property
+    def cell_kind(self) -> str:
+        raise NotImplementedError
+
+
+class LSTMLayer(RecurrentLayer):
+    """Long Short-Term Memory layer."""
+
+    gates = 4
+    # Gate fusion reads 4+4 pre-activations plus previous cell state,
+    # writes new cell and hidden states; sigmoid/tanh dominate flops.
+    gate_reads = 9
+    gate_writes = 2
+    gate_flops = 30.0
+
+    @property
+    def cell_kind(self) -> str:
+        return "lstm"
+
+
+class GRULayer(RecurrentLayer):
+    """Gated Recurrent Unit layer."""
+
+    gates = 3
+    gate_reads = 7
+    gate_writes = 1
+    gate_flops = 24.0
+
+    @property
+    def cell_kind(self) -> str:
+        return "gru"

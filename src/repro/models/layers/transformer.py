@@ -1,0 +1,118 @@
+"""Transformer encoder layer (paper §VII-B's attention-family SQNN).
+
+SeqPoint's insight — sequence length drives iteration heterogeneity —
+applies beyond RNNs: a Transformer layer's self-attention computes
+``T x T`` score matrices, so its work grows *quadratically* with SL
+while its FFN grows linearly.  Unlike recurrent layers nothing launches
+per time step; every kernel is batched and scales in *size*.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig
+from repro.kernels.elementwise import elementwise
+from repro.kernels.gemm import gemm
+from repro.kernels.reduction import reduction
+from repro.models.layers.base import KernelStream, Layer
+
+__all__ = ["TransformerEncoderLayer"]
+
+
+class TransformerEncoderLayer(Layer):
+    """Multi-head self-attention + feed-forward block."""
+
+    def __init__(self, name: str, hidden: int, heads: int, ffn_multiple: int = 4):
+        super().__init__(name)
+        if hidden <= 0 or heads <= 0 or ffn_multiple <= 0:
+            raise ConfigurationError(f"{name}: dimensions must be positive")
+        if hidden % heads:
+            raise ConfigurationError(
+                f"{name}: hidden {hidden} not divisible by {heads} heads"
+            )
+        self.hidden = hidden
+        self.heads = heads
+        self.ffn_hidden = ffn_multiple * hidden
+
+    def _attention(self, batch: int, steps: int, config: HardwareConfig) -> KernelStream:
+        positions = batch * steps
+        # Fused QKV projection.
+        yield gemm(positions, 3 * self.hidden, self.hidden, config, group="GEMM-1"), 1
+        # Scores (B*T x T at hidden depth) and context — the quadratic terms.
+        yield gemm(positions, steps, self.hidden, config, group="GEMM-2"), 1
+        yield reduction("mha_softmax", batch * self.heads * steps, steps), 1
+        yield elementwise(
+            "mha_scale", batch * self.heads * steps * steps,
+            reads_per_element=1, writes_per_element=1, flops_per_element=2,
+            inner_dim=steps,
+        ), 1
+        yield gemm(positions, self.hidden, steps, config, group="GEMM-2"), 1
+        # Output projection.
+        yield gemm(positions, self.hidden, self.hidden, config, group="GEMM-1"), 1
+
+    def _ffn(self, batch: int, steps: int, config: HardwareConfig) -> KernelStream:
+        positions = batch * steps
+        yield gemm(positions, self.ffn_hidden, self.hidden, config, group="GEMM-1"), 1
+        yield elementwise(
+            "gelu", positions * self.ffn_hidden,
+            reads_per_element=1, writes_per_element=1, flops_per_element=8,
+        ), 1
+        yield gemm(positions, self.hidden, self.ffn_hidden, config, group="GEMM-1"), 1
+
+    def _layernorm(self, batch: int, steps: int) -> KernelStream:
+        positions = batch * steps
+        yield reduction("ln_stats", positions, self.hidden, flops_per_element=2), 1
+        yield elementwise(
+            "ln_norm", positions * self.hidden,
+            reads_per_element=2, writes_per_element=1, flops_per_element=5,
+        ), 1
+
+    def forward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        yield from self._layernorm(batch, steps)
+        yield from self._attention(batch, steps, config)
+        yield from self._layernorm(batch, steps)
+        yield from self._ffn(batch, steps, config)
+        yield elementwise(
+            "residual_add", 2 * batch * steps * self.hidden,
+            reads_per_element=2, writes_per_element=1, flops_per_element=1,
+        ), 1
+
+    def backward(
+        self, batch: int, steps: int, config: HardwareConfig
+    ) -> KernelStream:
+        positions = batch * steps
+        # Attention gradients: dgrads and wgrads of the four projections
+        # plus the two quadratic score/context products.
+        yield gemm(positions, self.hidden, 3 * self.hidden, config, group="GEMM-1"), 1
+        yield gemm(3 * self.hidden, self.hidden, positions, config, group="GEMM-1"), 1
+        yield gemm(positions, steps, self.hidden, config, group="GEMM-2"), 1
+        yield gemm(positions, self.hidden, steps, config, group="GEMM-2"), 1
+        yield elementwise(
+            "mha_softmax_grad", batch * self.heads * steps * steps,
+            reads_per_element=2, writes_per_element=1, flops_per_element=3,
+            inner_dim=steps,
+        ), 1
+        yield gemm(positions, self.hidden, self.hidden, config, group="GEMM-1"), 1
+        yield gemm(self.hidden, self.hidden, positions, config, group="GEMM-1"), 1
+        # FFN gradients.
+        yield gemm(positions, self.hidden, self.ffn_hidden, config, group="GEMM-1"), 1
+        yield gemm(self.ffn_hidden, self.hidden, positions, config, group="GEMM-1"), 1
+        yield gemm(positions, self.ffn_hidden, self.hidden, config, group="GEMM-1"), 1
+        yield elementwise(
+            "gelu_grad", positions * self.ffn_hidden,
+            reads_per_element=2, writes_per_element=1, flops_per_element=4,
+        ), 1
+        # LayerNorm gradients.
+        yield reduction("ln_grad_stats", positions, self.hidden, flops_per_element=2), 2
+        yield elementwise(
+            "ln_grad", positions * self.hidden,
+            reads_per_element=3, writes_per_element=1, flops_per_element=6,
+        ), 2
+
+    def param_count(self) -> int:
+        attention = 4 * self.hidden * self.hidden + 4 * self.hidden
+        ffn = 2 * self.hidden * self.ffn_hidden + self.hidden + self.ffn_hidden
+        norms = 4 * self.hidden
+        return attention + ffn + norms

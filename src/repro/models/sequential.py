@@ -1,0 +1,82 @@
+"""Sequential model: a layer stack with automatic step tracking.
+
+Handles the common case (DS2, the Fig 3 CNN) where layers feed one
+another in order and convolutional strides shrink the time axis on the
+way down.  The backward pass revisits layers in reverse with the step
+counts each saw on the way forward.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import LoweringError
+from repro.hw.config import HardwareConfig
+from repro.models.layers.base import Layer
+from repro.models.layers.optimizer import sgd_update_kernels
+from repro.models.schedule import KernelSchedule
+from repro.models.spec import IterationInputs, Model
+
+__all__ = ["SequentialModel"]
+
+
+class SequentialModel(Model):
+    """A straight-line stack of layers plus an optional loss layer."""
+
+    def __init__(self, name: str, layers: Sequence[Layer], loss: Layer | None):
+        super().__init__(name)
+        if not layers:
+            raise LoweringError(f"{name}: a model needs at least one layer")
+        self.layers = list(layers)
+        self.loss = loss
+
+    def input_steps(self, inputs: IterationInputs) -> int:
+        """Time steps entering the first layer (overridable; CNN fixes it)."""
+        return inputs.seq_len
+
+    def _forward_plan(self, inputs: IterationInputs) -> list[tuple[Layer, int]]:
+        """(layer, in_steps) pairs in forward order."""
+        plan: list[tuple[Layer, int]] = []
+        steps = self.input_steps(inputs)
+        for layer in self.layers:
+            plan.append((layer, steps))
+            steps = layer.out_steps(steps)
+        return plan
+
+    def final_steps(self, inputs: IterationInputs) -> int:
+        """Steps emitted by the last layer (the loss's time axis)."""
+        steps = self.input_steps(inputs)
+        for layer in self.layers:
+            steps = layer.out_steps(steps)
+        return steps
+
+    def lower_forward(
+        self, inputs: IterationInputs, config: HardwareConfig
+    ) -> KernelSchedule:
+        schedule = KernelSchedule()
+        for layer, steps in self._forward_plan(inputs):
+            schedule.extend(layer.forward(inputs.batch, steps, config))
+        if self.loss is not None:
+            schedule.extend(
+                self.loss.forward(inputs.batch, self.final_steps(inputs), config)
+            )
+        return schedule
+
+    def lower_iteration(
+        self, inputs: IterationInputs, config: HardwareConfig
+    ) -> KernelSchedule:
+        schedule = self.lower_forward(inputs, config)
+        if self.loss is not None:
+            schedule.extend(
+                self.loss.backward(inputs.batch, self.final_steps(inputs), config)
+            )
+        for layer, steps in reversed(self._forward_plan(inputs)):
+            schedule.extend(layer.backward(inputs.batch, steps, config))
+        schedule.extend(sgd_update_kernels(self.layers))
+        return schedule
+
+    def param_count(self) -> int:
+        total = sum(layer.param_count() for layer in self.layers)
+        if self.loss is not None:
+            total += self.loss.param_count()
+        return total

@@ -1,0 +1,79 @@
+"""Model abstraction and per-iteration input description.
+
+A :class:`Model` turns :class:`IterationInputs` (batch size plus the
+padded sequence length of the batch) into a
+:class:`~repro.models.schedule.KernelSchedule` for a full training
+iteration (forward, backward, optimizer) or for a forward-only
+evaluation pass.  Lowering depends *only* on the inputs and hardware
+config — the paper's Key Observation 4 (all iterations at a given SL
+behave the same) is a structural property here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import LoweringError
+from repro.hw.config import HardwareConfig
+from repro.models.schedule import KernelSchedule
+
+__all__ = ["IterationInputs", "Model"]
+
+
+@dataclass(frozen=True)
+class IterationInputs:
+    """Inputs of one training iteration after batching and padding.
+
+    ``seq_len`` is the padded sequence length the whole batch runs at
+    (most SQNN frameworks pad every sample to the batch maximum — paper
+    §IV-B1); it is the quantity SeqPoint bins.  For sequence-to-sequence
+    models ``tgt_len`` is the decoder-side length; models that have no
+    decoder ignore it.
+    """
+
+    batch: int
+    seq_len: int
+    tgt_len: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise LoweringError(f"batch must be positive, got {self.batch}")
+        if self.seq_len <= 0:
+            raise LoweringError(f"seq_len must be positive, got {self.seq_len}")
+        if self.tgt_len is not None and self.tgt_len <= 0:
+            raise LoweringError(f"tgt_len must be positive, got {self.tgt_len}")
+
+
+class Model(ABC):
+    """A trainable network that lowers iterations to kernel schedules."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def lower_iteration(
+        self, inputs: IterationInputs, config: HardwareConfig
+    ) -> KernelSchedule:
+        """Kernel schedule of one full training iteration."""
+
+    @abstractmethod
+    def lower_forward(
+        self, inputs: IterationInputs, config: HardwareConfig
+    ) -> KernelSchedule:
+        """Kernel schedule of a forward-only (evaluation) pass."""
+
+    @abstractmethod
+    def param_count(self) -> int:
+        """Total trainable parameters."""
+
+    @property
+    def sequence_dependent(self) -> bool:
+        """Whether iteration work varies with sequence length.
+
+        CNNs override this to ``False`` — the Fig 3 distinction.
+        """
+        return True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,47 @@
+"""Transformer encoder model (paper §VII-B).
+
+A BERT-base-shaped encoder used by the generality experiments: the
+paper argues SeqPoint extends to "attention (e.g., Transformer, BERT)"
+because their work, too, is dictated by input sequence length — here
+partly quadratically.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.embedding import EmbeddingLayer
+from repro.models.layers.losses import SoftmaxCrossEntropyLayer
+from repro.models.layers.transformer import TransformerEncoderLayer
+from repro.models.sequential import SequentialModel
+
+__all__ = ["TransformerModel", "build_transformer"]
+
+
+class TransformerModel(SequentialModel):
+    """Embedding -> N encoder layers -> vocabulary classifier (MLM-style)."""
+
+    def __init__(
+        self,
+        vocab: int = 30_522,
+        hidden: int = 768,
+        layers: int = 12,
+        heads: int = 12,
+    ):
+        stack = [EmbeddingLayer("embedding", vocab=vocab, hidden=hidden)]
+        for index in range(layers):
+            stack.append(
+                TransformerEncoderLayer(f"encoder{index}", hidden, heads)
+            )
+        stack.append(DenseLayer("mlm_head", hidden, vocab))
+        super().__init__(
+            "transformer", stack, SoftmaxCrossEntropyLayer("mlm_ce", vocab)
+        )
+        self.vocab = vocab
+        self.hidden = hidden
+
+
+def build_transformer(
+    vocab: int = 30_522, hidden: int = 768, layers: int = 12, heads: int = 12
+) -> TransformerModel:
+    """A BERT-base-shaped encoder."""
+    return TransformerModel(vocab=vocab, hidden=hidden, layers=layers, heads=heads)

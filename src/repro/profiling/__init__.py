@@ -1,0 +1,23 @@
+"""Profiling layer: execution profiles, comparisons, and cost accounting.
+
+Stands in for the Radeon Compute Profiler workflow: run chosen
+iterations under a hardware config, collect kernel-level runtimes and
+counters, compare profiles across iterations (Figs 4-6, 8), and account
+for how long profiling *itself* takes (§VI-F's 40-345x reductions).
+"""
+
+from repro.profiling.comparison import kernel_overlap, runtime_share_distance
+from repro.profiling.cost import ProfilingCostModel, ProfilingSpeedups
+from repro.profiling.profiler import IterationProfile, Profiler
+from repro.profiling.profiles import ExecutionProfile, KernelStat
+
+__all__ = [
+    "kernel_overlap",
+    "runtime_share_distance",
+    "ProfilingCostModel",
+    "ProfilingSpeedups",
+    "IterationProfile",
+    "Profiler",
+    "ExecutionProfile",
+    "KernelStat",
+]

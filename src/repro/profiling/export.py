@@ -1,0 +1,89 @@
+"""Simulation export (paper §VII-A).
+
+The paper positions SeqPoint as "a stepping stone to enabling
+network-level simulations": once the representative iterations are
+known, *those* — not the full run — can be ported to a cycle-level
+simulator.  This module serialises a selection into a self-contained
+JSON manifest: per SeqPoint, its weight and the complete lowered kernel
+schedule (names, logical ops, shapes, launch counts, FLOPs and traffic
+parameters) that a downstream simulator would replay.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.core.selection import Selection
+from repro.hw.config import HardwareConfig
+from repro.models.spec import IterationInputs, Model
+from repro.util.serialize import dump_json, load_json
+
+__all__ = ["export_selection", "load_manifest", "MANIFEST_SCHEMA"]
+
+MANIFEST_SCHEMA = "repro.simulation-manifest.v1"
+
+
+def _schedule_payload(
+    model: Model, inputs: IterationInputs, config: HardwareConfig
+) -> list[dict[str, Any]]:
+    schedule = model.lower_iteration(inputs, config).merged()
+    entries = []
+    for invocation, count in schedule:
+        work = invocation.work
+        entries.append(
+            {
+                "kernel": invocation.name,
+                "op": invocation.op,
+                "group": invocation.group,
+                "shape": list(invocation.shape),
+                "launches": count,
+                "flops": work.compute.flops,
+                "work_items": work.compute.work_items,
+                "issue_efficiency": work.compute.issue_efficiency,
+                "read_bytes": work.traffic.read_bytes,
+                "write_bytes": work.traffic.write_bytes,
+                "l1_working_set": work.traffic.l1_working_set,
+                "l2_working_set": work.traffic.l2_working_set,
+            }
+        )
+    return entries
+
+
+def export_selection(
+    selection: Selection,
+    model: Model,
+    batch_size: int,
+    config: HardwareConfig,
+    path: str | Path,
+) -> None:
+    """Write a simulation manifest for ``selection`` to ``path``."""
+    iterations = []
+    for point in selection.points:
+        inputs = IterationInputs(
+            batch=batch_size, seq_len=point.seq_len, tgt_len=point.tgt_len
+        )
+        iterations.append(
+            {
+                "seq_len": point.seq_len,
+                "tgt_len": point.tgt_len,
+                "weight": point.weight,
+                "schedule": _schedule_payload(model, inputs, config),
+            }
+        )
+    dump_json(
+        {
+            "model": model.name,
+            "method": selection.method,
+            "batch_size": batch_size,
+            "config": config.name,
+            "iterations": iterations,
+        },
+        path,
+        MANIFEST_SCHEMA,
+    )
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read a manifest back (schema-checked)."""
+    return load_json(path, MANIFEST_SCHEMA)

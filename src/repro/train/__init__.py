@@ -1,0 +1,13 @@
+"""Training-run simulation: epochs of iterations on a simulated GPU."""
+
+from repro.train.iteration import IterationExecutor, IterationResult
+from repro.train.runner import TrainingRunSimulator
+from repro.train.trace import IterationRecord, TrainingTrace
+
+__all__ = [
+    "IterationExecutor",
+    "IterationResult",
+    "TrainingRunSimulator",
+    "IterationRecord",
+    "TrainingTrace",
+]

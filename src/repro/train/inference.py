@@ -1,0 +1,104 @@
+"""Inference-run simulation (paper §VII-E).
+
+The paper notes its insight carries to inference: sequence length
+dictates per-request work there too, so binning SLs also characterises
+serving runs.  :class:`InferenceRunSimulator` replays a request stream
+(forward passes only, typically at small batch) and emits the same
+:class:`~repro.train.trace.TrainingTrace` structure, so the entire
+SeqPoint pipeline — selection, baselines, projection — applies to
+inference without modification.
+"""
+
+from __future__ import annotations
+
+from repro.data.batching import BatchingPolicy
+from repro.data.dataset import SequenceDataset
+from repro.errors import ConfigurationError
+from repro.hw.device import GpuDevice
+from repro.models.spec import Model
+from repro.train.iteration import IterationExecutor
+from repro.train.trace import IterationRecord, TrainingTrace
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["InferenceRunSimulator"]
+
+#: Serving dispatch is lighter than a training step's input pipeline.
+DEFAULT_SERVING_OVERHEAD_S = 2e-3
+
+
+class InferenceRunSimulator:
+    """Simulates forward-only request processing of one model."""
+
+    def __init__(
+        self,
+        model: Model,
+        dataset: SequenceDataset,
+        batching: BatchingPolicy,
+        device: GpuDevice,
+        host_overhead_s: float = DEFAULT_SERVING_OVERHEAD_S,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+    ):
+        if noise_sigma < 0:
+            raise ConfigurationError("noise_sigma cannot be negative")
+        self.model = model
+        self.dataset = dataset
+        self.batching = batching
+        self.device = device
+        self.noise_sigma = noise_sigma
+        self.seed = seed
+        self.executor = IterationExecutor(model, device, host_overhead_s)
+
+    def _noise(self, index: int) -> float:
+        if self.noise_sigma == 0.0:
+            return 1.0
+        rng = make_rng(derive_seed(self.seed, "inference-noise", index))
+        return float(rng.lognormal(mean=0.0, sigma=self.noise_sigma))
+
+    def run_pass(self, epoch: int = 0) -> TrainingTrace:
+        """One pass over the request set; returns an inference trace.
+
+        Characterisation uses full batches (serving replicates a fixed
+        batch size); when the request set is smaller than one batch the
+        ragged remainder is kept so tiny sets still produce a trace.
+        """
+        plan = self.batching.plan_epoch(
+            self.dataset, epoch=epoch, seed=self.seed, drop_last=True
+        )
+        if not plan:
+            plan = self.batching.plan_epoch(
+                self.dataset, epoch=epoch, seed=self.seed, drop_last=False
+            )
+        if not plan:
+            raise ConfigurationError(f"{self.dataset.name}: no requests to serve")
+        trace = TrainingTrace(
+            model_name=f"{self.model.name}-inference",
+            dataset_name=self.dataset.name,
+            config_name=self.device.config.name,
+            batch_size=self.batching.batch_size,
+        )
+        for index, inputs in enumerate(plan):
+            result = self.executor.run_forward(inputs)
+            trace.records.append(
+                IterationRecord(
+                    index=index,
+                    epoch=epoch,
+                    seq_len=inputs.seq_len,
+                    tgt_len=inputs.tgt_len,
+                    time_s=result.time_s * self._noise(index),
+                    launches=result.launches,
+                    counters=result.counters,
+                    group_times=result.group_times,
+                    kernel_names=result.kernel_names,
+                )
+            )
+        return trace
+
+    def measure_seq_len(self, seq_len: int, tgt_len: int | None = None) -> float:
+        """Forward latency of one batch at ``seq_len`` on this device."""
+        from repro.models.spec import IterationInputs
+
+        inputs = IterationInputs(
+            batch=self.batching.batch_size, seq_len=seq_len, tgt_len=tgt_len
+        )
+        return self.executor.run_forward(inputs).time_s

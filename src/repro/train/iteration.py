@@ -1,0 +1,103 @@
+"""Iteration execution: lower, time, and account one training iteration.
+
+The executor memoises by iteration inputs: per Key Observation 4, two
+iterations with the same padded lengths perform identical work, so a
+whole epoch only pays lowering cost once per unique (seq_len, tgt_len)
+pair — that is what makes full-epoch simulation cheap enough to treat
+as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.counters import CounterSet
+from repro.hw.device import GpuDevice
+from repro.models.schedule import KernelSchedule
+from repro.models.spec import IterationInputs, Model
+
+__all__ = ["IterationExecutor", "IterationResult"]
+
+#: Host-side framework overhead per iteration: input pipeline, session
+#: dispatch, optimizer bookkeeping.  Fixed per iteration and hardware-
+#: independent, so it dilutes device-side speedups for short sequences —
+#: the reason per-SL sensitivity curves (paper Figs 13/14) rise with SL.
+#: 25 ms matches TF1.x-era step overheads on these networks.
+DEFAULT_HOST_OVERHEAD_S = 25e-3
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Everything the trace records about one executed iteration."""
+
+    time_s: float
+    launches: int
+    counters: CounterSet
+    #: Kernel-group name -> device seconds (Fig 6 / Fig 8 distribution).
+    group_times: dict[str, float]
+    #: Distinct kernel variants launched (Fig 5 statistic).
+    kernel_names: frozenset[str]
+    #: GEMM problem shapes, for autotune accounting.
+    gemm_shapes: tuple[tuple[int, int, int], ...]
+
+
+class IterationExecutor:
+    """Runs iterations of one model on one device."""
+
+    def __init__(
+        self,
+        model: Model,
+        device: GpuDevice,
+        host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
+    ):
+        if host_overhead_s < 0:
+            raise ValueError("host_overhead_s cannot be negative")
+        self.model = model
+        self.device = device
+        self.host_overhead_s = host_overhead_s
+        self._train_cache: dict[tuple[int, int, int | None], IterationResult] = {}
+        self._fwd_cache: dict[tuple[int, int, int | None], IterationResult] = {}
+
+    def _key(self, inputs: IterationInputs) -> tuple[int, int, int | None]:
+        return (inputs.batch, inputs.seq_len, inputs.tgt_len)
+
+    def _measure(self, schedule: KernelSchedule) -> IterationResult:
+        time_s = self.host_overhead_s
+        launches = 0
+        counters = CounterSet.zero()
+        group_times: dict[str, float] = {}
+        names: set[str] = set()
+        for invocation, count in schedule.merged():
+            measurement = self.device.run(invocation.work)
+            time_s += measurement.time_s * count
+            launches += count
+            counters = counters + measurement.counters.scaled(count)
+            group_times[invocation.group] = (
+                group_times.get(invocation.group, 0.0)
+                + measurement.time_s * count
+            )
+            names.add(invocation.name)
+        return IterationResult(
+            time_s=time_s,
+            launches=launches,
+            counters=counters,
+            group_times=group_times,
+            kernel_names=frozenset(names),
+            gemm_shapes=tuple(schedule.gemm_shapes()),
+        )
+
+    def run(self, inputs: IterationInputs) -> IterationResult:
+        """One full training iteration (forward + backward + update)."""
+        key = self._key(inputs)
+        if key not in self._train_cache:
+            schedule = self.model.lower_iteration(inputs, self.device.config)
+            self._train_cache[key] = self._measure(schedule)
+        return self._train_cache[key]
+
+    def run_forward(self, inputs: IterationInputs) -> IterationResult:
+        """One forward-only (evaluation) pass."""
+        key = self._key(inputs)
+        if key not in self._fwd_cache:
+            schedule = self.model.lower_forward(inputs, self.device.config)
+            self._fwd_cache[key] = self._measure(schedule)
+        return self._fwd_cache[key]

@@ -1,0 +1,140 @@
+"""Training-run simulator: epochs, autotune phase, evaluation phase.
+
+Drives the iteration executor over a batching plan to produce a
+:class:`~repro.train.trace.TrainingTrace`.  Reproduces the two
+non-training phases the paper discusses and excludes from its
+representative runs: the framework *autotune* pass (charged once per
+new GEMM shape — expensive in the first epoch, free afterwards) and
+the end-of-epoch *evaluation* pass (forward-only on a held-out set,
+empirically 2-3% of epoch time).
+
+Optional multiplicative log-normal noise models run-to-run measurement
+jitter on real hardware; it is off by default so tests are exact.
+"""
+
+from __future__ import annotations
+
+from repro.data.batching import BatchingPolicy
+from repro.data.dataset import SequenceDataset
+from repro.errors import ConfigurationError
+from repro.hw.device import GpuDevice
+from repro.kernels.autotune import Autotuner
+from repro.models.spec import IterationInputs, Model
+from repro.train.iteration import DEFAULT_HOST_OVERHEAD_S, IterationExecutor
+from repro.train.trace import IterationRecord, TrainingTrace
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = ["TrainingRunSimulator"]
+
+
+class TrainingRunSimulator:
+    """Simulates training epochs of one model/dataset/device triple."""
+
+    def __init__(
+        self,
+        model: Model,
+        dataset: SequenceDataset,
+        batching: BatchingPolicy,
+        device: GpuDevice,
+        eval_dataset: SequenceDataset | None = None,
+        host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+        noise_seed: int | None = None,
+    ):
+        if noise_sigma < 0:
+            raise ConfigurationError("noise_sigma cannot be negative")
+        self.model = model
+        self.dataset = dataset
+        self.batching = batching
+        self.device = device
+        self.eval_dataset = eval_dataset
+        self.noise_sigma = noise_sigma
+        self.seed = seed
+        # Measurement jitter is a property of the physical run, not of
+        # the data order: it gets its own seed so two runs of the same
+        # epoch plan on different hardware have independent noise.
+        self.noise_seed = seed if noise_seed is None else noise_seed
+        self.executor = IterationExecutor(model, device, host_overhead_s)
+        self._autotuner = Autotuner(device.config)
+
+    def _noise(self, epoch: int, index: int) -> float:
+        if self.noise_sigma == 0.0:
+            return 1.0
+        rng = make_rng(derive_seed(self.noise_seed, "noise", epoch, index))
+        return float(rng.lognormal(mean=0.0, sigma=self.noise_sigma))
+
+    def _eval_phase_time(self) -> float:
+        if self.eval_dataset is None:
+            return 0.0
+        plan = self.batching.plan_epoch(
+            self.eval_dataset, epoch=0, seed=self.seed, drop_last=False
+        )
+        return sum(
+            self.executor.run_forward(inputs).time_s for inputs in plan
+        )
+
+    def run_training(
+        self, epochs: int, include_eval: bool = True
+    ) -> list[TrainingTrace]:
+        """Simulate several epochs (paper Fig 2's training-run structure).
+
+        The autotune phase is charged only where shapes first appear —
+        almost entirely in epoch 0 — and every epoch gets its own
+        evaluation pass, as real training loops do.
+        """
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {epochs}")
+        return [
+            self.run_epoch(epoch=epoch, include_eval=include_eval)
+            for epoch in range(epochs)
+        ]
+
+    def run_epoch(
+        self, epoch: int = 0, include_eval: bool = True
+    ) -> TrainingTrace:
+        """Simulate one epoch and return its trace."""
+        plan = self.batching.plan_epoch(self.dataset, epoch=epoch, seed=self.seed)
+        if not plan:
+            raise ConfigurationError(
+                f"{self.dataset.name}: dataset too small for one "
+                f"batch of {self.batching.batch_size}"
+            )
+        trace = TrainingTrace(
+            model_name=self.model.name,
+            dataset_name=self.dataset.name,
+            config_name=self.device.config.name,
+            batch_size=self.batching.batch_size,
+        )
+        for index, inputs in enumerate(plan):
+            result = self.executor.run(inputs)
+            for shape in result.gemm_shapes:
+                trace.autotune_s += self._autotuner.charge(*shape)
+            trace.records.append(
+                IterationRecord(
+                    index=index,
+                    epoch=epoch,
+                    seq_len=inputs.seq_len,
+                    tgt_len=inputs.tgt_len,
+                    time_s=result.time_s * self._noise(epoch, index),
+                    launches=result.launches,
+                    counters=result.counters,
+                    group_times=result.group_times,
+                    kernel_names=result.kernel_names,
+                )
+            )
+        if include_eval:
+            trace.eval_s = self._eval_phase_time()
+        return trace
+
+    def measure_seq_len(self, seq_len: int, tgt_len: int | None = None) -> float:
+        """Runtime of a single iteration at ``seq_len`` on this device.
+
+        This is the "profile only the SeqPoints" primitive: after
+        identification, each selected SL is executed once per candidate
+        hardware configuration.
+        """
+        inputs = IterationInputs(
+            batch=self.batching.batch_size, seq_len=seq_len, tgt_len=tgt_len
+        )
+        return self.executor.run(inputs).time_s

@@ -1,0 +1,153 @@
+"""Training trace: the logged record of a (simulated) training epoch.
+
+This is the artefact the SeqPoint methodology consumes — per-iteration
+sequence lengths and runtimes (step 1 of the paper's Fig 10 flowchart)
+plus the counters and kernel statistics the characterisation figures
+need.  Traces serialise to JSON so expensive epochs are generated once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.hw.counters import CounterSet
+from repro.util.serialize import dump_json, load_json
+
+__all__ = ["IterationRecord", "TrainingTrace"]
+
+_SCHEMA = "repro.training-trace.v1"
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One training iteration as logged by the runner."""
+
+    index: int
+    epoch: int
+    seq_len: int
+    tgt_len: int | None
+    time_s: float
+    launches: int
+    counters: CounterSet
+    group_times: dict[str, float]
+    kernel_names: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if self.time_s <= 0:
+            raise TraceError(f"iteration {self.index}: non-positive time")
+
+
+@dataclass
+class TrainingTrace:
+    """An epoch (or more) of iteration records plus phase accounting."""
+
+    model_name: str
+    dataset_name: str
+    config_name: str
+    batch_size: int
+    records: list[IterationRecord] = field(default_factory=list)
+    #: One-off autotune cost (paper §IV-C2; excluded from projections).
+    autotune_s: float = 0.0
+    #: End-of-epoch evaluation phase (paper §IV-C1, the ~2-3%).
+    eval_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise TraceError("batch_size must be positive")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_time_s(self) -> float:
+        """Training-iteration time (the paper's projected statistic)."""
+        return sum(record.time_s for record in self.records)
+
+    @property
+    def wall_time_s(self) -> float:
+        """Everything a stopwatch would see, including one-off phases."""
+        return self.total_time_s + self.autotune_s + self.eval_s
+
+    @property
+    def samples(self) -> int:
+        return len(self.records) * self.batch_size
+
+    @property
+    def throughput(self) -> float:
+        """Training throughput in samples/s (the speedup statistic)."""
+        total = self.total_time_s
+        if total <= 0:
+            raise TraceError("empty trace has no throughput")
+        return self.samples / total
+
+    def seq_lens(self) -> list[int]:
+        return [record.seq_len for record in self.records]
+
+    def unique_seq_lens(self) -> list[int]:
+        return sorted({record.seq_len for record in self.records})
+
+    def iteration_histogram(self) -> dict[int, int]:
+        """Iteration count per unique sequence length (Fig 7 per-batch)."""
+        histogram: dict[int, int] = {}
+        for record in self.records:
+            histogram[record.seq_len] = histogram.get(record.seq_len, 0) + 1
+        return histogram
+
+    def records_for_seq_len(self, seq_len: int) -> list[IterationRecord]:
+        return [r for r in self.records if r.seq_len == seq_len]
+
+    # -- persistence -------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "model_name": self.model_name,
+            "dataset_name": self.dataset_name,
+            "config_name": self.config_name,
+            "batch_size": self.batch_size,
+            "autotune_s": self.autotune_s,
+            "eval_s": self.eval_s,
+            "records": [
+                {
+                    "index": r.index,
+                    "epoch": r.epoch,
+                    "seq_len": r.seq_len,
+                    "tgt_len": r.tgt_len,
+                    "time_s": r.time_s,
+                    "launches": r.launches,
+                    "counters": r.counters.as_dict(),
+                    "group_times": r.group_times,
+                    "kernel_names": sorted(r.kernel_names),
+                }
+                for r in self.records
+            ],
+        }
+        dump_json(payload, path, _SCHEMA)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainingTrace":
+        document = load_json(path, _SCHEMA)
+        trace = cls(
+            model_name=document["model_name"],
+            dataset_name=document["dataset_name"],
+            config_name=document["config_name"],
+            batch_size=document["batch_size"],
+            autotune_s=document["autotune_s"],
+            eval_s=document["eval_s"],
+        )
+        for row in document["records"]:
+            trace.records.append(
+                IterationRecord(
+                    index=row["index"],
+                    epoch=row["epoch"],
+                    seq_len=row["seq_len"],
+                    tgt_len=row["tgt_len"],
+                    time_s=row["time_s"],
+                    launches=row["launches"],
+                    counters=CounterSet(**row["counters"]),
+                    group_times=dict(row["group_times"]),
+                    kernel_names=frozenset(row["kernel_names"]),
+                )
+            )
+        return trace

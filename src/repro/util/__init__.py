@@ -1,0 +1,42 @@
+"""Shared utilities: deterministic RNG, statistics, units, and rendering."""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.stats import (
+    geomean,
+    mean,
+    median,
+    percent_error,
+    weighted_average,
+    weighted_sum,
+)
+from repro.util.tables import render_table
+from repro.util.units import (
+    GHZ,
+    GIB,
+    KIB,
+    MHZ,
+    MIB,
+    format_bytes,
+    format_duration,
+    format_frequency,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "geomean",
+    "mean",
+    "median",
+    "percent_error",
+    "weighted_average",
+    "weighted_sum",
+    "render_table",
+    "GHZ",
+    "GIB",
+    "KIB",
+    "MHZ",
+    "MIB",
+    "format_bytes",
+    "format_duration",
+    "format_frequency",
+]

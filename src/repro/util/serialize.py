@@ -1,0 +1,41 @@
+"""JSON (de)serialisation helpers for trace and result artefacts.
+
+Traces can take minutes to regenerate for large corpora, so the training
+simulator and the experiment harness both persist their outputs.  These
+helpers centralise the conventions: UTF-8, sorted keys, and a
+``schema`` field that is checked on load so stale artefacts fail loudly
+instead of producing silently wrong analyses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TraceError
+
+__all__ = ["dump_json", "load_json"]
+
+
+def dump_json(payload: dict[str, Any], path: str | Path, schema: str) -> None:
+    """Write ``payload`` to ``path``, stamping it with ``schema``."""
+    document = dict(payload)
+    document["schema"] = schema
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, indent=1)
+
+
+def load_json(path: str | Path, schema: str) -> dict[str, Any]:
+    """Load ``path`` and verify it carries the expected ``schema`` stamp."""
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    found = document.get("schema")
+    if found != schema:
+        raise TraceError(
+            f"{source}: expected schema {schema!r}, found {found!r}"
+        )
+    return document

@@ -1,0 +1,64 @@
+"""Unit constants and human-readable formatting.
+
+The hardware model works in base SI units internally (bytes, hertz,
+seconds); these constants keep configuration sites readable and the
+formatters keep harness output readable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "MHZ",
+    "GHZ",
+    "format_bytes",
+    "format_duration",
+    "format_frequency",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+MHZ = 1_000_000
+GHZ = 1_000 * MHZ
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary-prefix unit (e.g. ``4.0 MiB``)."""
+    if num_bytes < 0:
+        raise ValueError("byte counts cannot be negative")
+    for unit, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if num_bytes >= scale:
+            return f"{num_bytes / scale:.1f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an appropriate unit from ns to hours."""
+    if seconds < 0:
+        raise ValueError("durations cannot be negative")
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.2f} min"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.0f} ns"
+
+
+def format_frequency(hertz: float) -> str:
+    """Render a clock frequency (e.g. ``1.60 GHz``, ``852 MHz``)."""
+    if hertz < 0:
+        raise ValueError("frequencies cannot be negative")
+    if hertz >= GHZ:
+        return f"{hertz / GHZ:.2f} GHz"
+    if hertz >= MHZ:
+        return f"{hertz / MHZ:.0f} MHz"
+    return f"{hertz:.0f} Hz"

@@ -1,0 +1,55 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestConfigs:
+    def test_lists_five_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("config#") == 5
+        assert "L1 off" in out
+        assert "L2 off" in out
+
+
+class TestIdentify:
+    def test_prints_seqpoints(self, capsys):
+        assert main(["identify", "--network", "ds2", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "SeqPoints:" in out
+        assert "SL" in out
+
+    def test_requires_network(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["identify"])
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            main(["identify", "--network", "bert"])
+
+
+class TestExperiments:
+    def test_selected_ids(self, capsys):
+        assert main(["experiments", "--scale", "0.01", "--ids", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "[table2]" in out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["experiments", "--ids", "fig99"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "tables.txt"
+        assert main(
+            ["experiments", "--scale", "0.01", "--ids", "table2",
+             "--output", str(target)]
+        ) == 0
+        assert "[table2]" in target.read_text()
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,92 @@
+"""Unit tests for the baseline selectors (paper §VI-C)."""
+
+import pytest
+
+from repro.core.baselines import (
+    FrequentSelector,
+    MedianSelector,
+    PriorSelector,
+    WorstSelector,
+)
+from repro.core.projection import project_total
+from repro.errors import SelectionError
+from tests.conftest import make_trace
+
+
+def skewed_trace():
+    """Many short iterations, few long ones (DS2-like skew)."""
+    pairs = [(10, 1.0)] * 50 + [(50, 5.0)] * 30 + [(100, 10.0)] * 20
+    return make_trace(pairs)
+
+
+class TestFrequent:
+    def test_picks_most_frequent_sl(self):
+        selection = FrequentSelector().select(skewed_trace())
+        assert selection.seq_lens == (10,)
+
+    def test_weight_is_epoch_size(self):
+        selection = FrequentSelector().select(skewed_trace())
+        assert selection.total_weight == 100.0
+
+    def test_underestimates_skewed_total(self):
+        selection = FrequentSelector().select(skewed_trace())
+        projected = project_total(selection, lambda p: p.record.time_s)
+        assert projected < skewed_trace().total_time_s
+
+
+class TestMedian:
+    def test_picks_median_iteration_sl(self):
+        selection = MedianSelector().select(skewed_trace())
+        # 100 iterations: the 50th in SL order has SL 50.
+        assert selection.seq_lens == (50,)
+
+    def test_single_point(self):
+        assert len(MedianSelector().select(skewed_trace())) == 1
+
+
+class TestWorst:
+    def test_maximises_projection_error(self):
+        trace = skewed_trace()
+        worst = WorstSelector().select(trace)
+        actual = trace.total_time_s
+        worst_error = abs(
+            project_total(worst, lambda p: p.record.time_s) - actual
+        )
+        for selector in (FrequentSelector(), MedianSelector()):
+            other = selector.select(trace)
+            other_error = abs(
+                project_total(other, lambda p: p.record.time_s) - actual
+            )
+            assert worst_error >= other_error
+
+    def test_picks_extreme_sl(self):
+        assert WorstSelector().select(skewed_trace()).seq_lens[0] in (10, 100)
+
+
+class TestPrior:
+    def test_window_after_warmup(self):
+        trace = make_trace([(sl, 1.0) for sl in range(1, 401)])
+        selection = PriorSelector(warmup=100, window=50).select(trace)
+        assert selection.seq_lens == tuple(range(101, 151))
+
+    def test_weights_scale_to_epoch(self):
+        trace = make_trace([(sl, 1.0) for sl in range(1, 401)])
+        selection = PriorSelector(warmup=100, window=50).select(trace)
+        assert selection.total_weight == pytest.approx(400.0)
+
+    def test_profiles_whole_window(self):
+        trace = make_trace([(10, 1.0)] * 400)
+        selection = PriorSelector(warmup=100, window=50).select(trace)
+        # 50 iterations are executed even though all share one SL.
+        assert selection.iterations_to_profile == 50
+
+    def test_short_trace_clamps_window(self):
+        trace = make_trace([(10, 1.0)] * 30)
+        selection = PriorSelector(warmup=100, window=50).select(trace)
+        assert len(selection) == 30
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SelectionError):
+            PriorSelector(warmup=-1)
+        with pytest.raises(SelectionError):
+            PriorSelector(window=0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.binning."""
+
+import pytest
+
+from repro.core.binning import bin_stats, bin_stats_equal_mass
+from repro.core.sl_stats import SlStatistics
+from repro.errors import SelectionError
+from tests.conftest import make_trace
+
+
+def stats(seq_lens=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)) -> SlStatistics:
+    return SlStatistics.from_trace(
+        make_trace([(sl, sl * 0.01) for sl in seq_lens])
+    )
+
+
+class TestEqualWidthBinning:
+    def test_partitions_all_stats(self):
+        bins = bin_stats(stats(), 4)
+        binned = [s.seq_len for b in bins for s in b.stats]
+        assert sorted(binned) == sorted(s.seq_len for s in stats())
+
+    def test_contiguous_and_ordered(self):
+        bins = bin_stats(stats(), 3)
+        for earlier, later in zip(bins, bins[1:]):
+            assert max(earlier.seq_lens) < min(later.seq_lens)
+
+    def test_equal_width_ranges(self):
+        bins = bin_stats(stats(), 3)
+        widths = {round(b.hi - b.lo, 6) for b in bins}
+        assert len(widths) == 1
+
+    def test_empty_bins_dropped(self):
+        # SLs clustered at the extremes leave middle bins empty.
+        sparse = stats(seq_lens=(1, 2, 3, 98, 99, 100))
+        bins = bin_stats(sparse, 10)
+        assert all(b.stats for b in bins)
+        assert len(bins) < 10
+
+    def test_k_one_single_bin(self):
+        bins = bin_stats(stats(), 1)
+        assert len(bins) == 1
+        assert bins[0].iterations == 10
+
+    def test_single_sl_single_bin(self):
+        bins = bin_stats(stats(seq_lens=(42,)), 5)
+        assert len(bins) == 1
+
+    def test_bin_mean_is_iteration_weighted(self):
+        trace = make_trace([(10, 1.0), (10, 1.0), (12, 4.0)])
+        bins = bin_stats(SlStatistics.from_trace(trace), 1)
+        assert bins[0].mean_time_s == pytest.approx(2.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SelectionError):
+            bin_stats(stats(), 0)
+
+
+class TestEqualMassBinning:
+    def test_partitions_all_stats(self):
+        bins = bin_stats_equal_mass(stats(), 4)
+        binned = [s.seq_len for b in bins for s in b.stats]
+        assert sorted(binned) == sorted(s.seq_len for s in stats())
+
+    def test_balanced_masses(self):
+        # Heavy skew: equal-mass bins even out iteration counts.
+        pairs = [(sl, 0.01 * sl) for sl in (1, 1, 1, 1, 1, 1, 2, 50, 100)]
+        statistics = SlStatistics.from_trace(make_trace(pairs))
+        bins = bin_stats_equal_mass(statistics, 3)
+        masses = [b.iterations for b in bins]
+        assert max(masses) <= 2 * min(masses) + 4
+
+    def test_returns_at_most_k_bins(self):
+        assert len(bin_stats_equal_mass(stats(), 4)) <= 4
+
+    def test_k_exceeding_stats_clamped(self):
+        bins = bin_stats_equal_mass(stats(seq_lens=(1, 2)), 10)
+        assert len(bins) <= 2
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SelectionError):
+            bin_stats_equal_mass(stats(), -1)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.core.projection."""
+
+import pytest
+
+from repro.core.projection import (
+    project_average,
+    project_total,
+    uplift_pct,
+)
+from repro.core.selection import SelectedPoint, Selection
+from repro.errors import ProjectionError
+from tests.conftest import make_record
+
+
+def selection() -> Selection:
+    return Selection(
+        "m",
+        (
+            SelectedPoint(record=make_record(0, 10, 1.0), weight=4.0),
+            SelectedPoint(record=make_record(1, 20, 2.0), weight=6.0),
+        ),
+    )
+
+
+class TestProjection:
+    def test_total_is_equation_one(self):
+        projected = project_total(selection(), lambda p: p.record.time_s)
+        assert projected == pytest.approx(4.0 * 1.0 + 6.0 * 2.0)
+
+    def test_average_normalised(self):
+        projected = project_average(selection(), lambda p: p.record.time_s)
+        assert projected == pytest.approx(16.0 / 10.0)
+
+    def test_stat_callable_sees_points(self):
+        projected = project_total(selection(), lambda p: float(p.seq_len))
+        assert projected == pytest.approx(4 * 10 + 6 * 20)
+
+
+class TestUplift:
+    def test_positive_uplift(self):
+        assert uplift_pct(100.0, 150.0) == pytest.approx(50.0)
+
+    def test_negative_uplift(self):
+        assert uplift_pct(100.0, 80.0) == pytest.approx(-20.0)
+
+    def test_identity_zero(self):
+        assert uplift_pct(42.0, 42.0) == 0.0
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ProjectionError):
+            uplift_pct(0.0, 1.0)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.selection."""
+
+import pytest
+
+from repro.core.binning import bin_stats
+from repro.core.selection import SelectedPoint, Selection, select_from_bin
+from repro.core.sl_stats import SlStatistics
+from repro.errors import SelectionError
+from tests.conftest import make_record, make_trace
+
+
+def single_bin(pairs):
+    return bin_stats(SlStatistics.from_trace(make_trace(pairs)), 1)[0]
+
+
+class TestSelectFromBin:
+    def test_closest_mean_is_papers_choice(self):
+        bin_ = single_bin([(10, 1.0), (20, 2.0), (30, 10.0)])
+        # Weighted mean time = 13/3 = 4.33; SL 20 (2.0) vs SL 30 (10.0):
+        # 2.0 is closer to 4.33? |2-4.33|=2.33, |10-4.33|=5.67 -> SL 20.
+        point = select_from_bin(bin_)
+        assert point.seq_len == 20
+        assert point.weight == 3.0
+
+    def test_weight_is_bin_iterations(self):
+        bin_ = single_bin([(10, 1.0)] * 7 + [(20, 2.0)] * 3)
+        assert select_from_bin(bin_).weight == 10.0
+
+    def test_median_sl_strategy(self):
+        bin_ = single_bin([(10, 1.0)] * 3 + [(20, 2.0)] * 3 + [(30, 3.0)] * 3)
+        assert select_from_bin(bin_, strategy="median-sl").seq_len == 20
+
+    def test_centroid_sl_strategy(self):
+        bin_ = single_bin([(10, 1.0), (20, 2.0), (33, 3.0)])
+        assert select_from_bin(bin_, strategy="centroid-sl").seq_len == 20
+
+    def test_unknown_strategy_rejected(self):
+        bin_ = single_bin([(10, 1.0)])
+        with pytest.raises(SelectionError, match="strategy"):
+            select_from_bin(bin_, strategy="random")
+
+
+class TestSelection:
+    def point(self, seq_len=10, weight=1.0):
+        return SelectedPoint(record=make_record(0, seq_len, 1.0), weight=weight)
+
+    def test_total_weight(self):
+        selection = Selection(
+            "m", (self.point(weight=2.0), self.point(20, 3.0))
+        )
+        assert selection.total_weight == 5.0
+
+    def test_seq_lens(self):
+        selection = Selection("m", (self.point(10), self.point(20)))
+        assert selection.seq_lens == (10, 20)
+
+    def test_iterations_to_profile_dedups(self):
+        selection = Selection("m", (self.point(10), self.point(10)))
+        assert selection.iterations_to_profile == 1
+
+    def test_profiled_iterations_override(self):
+        selection = Selection(
+            "prior", (self.point(10),), profiled_iterations=50
+        )
+        assert selection.iterations_to_profile == 50
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(SelectionError):
+            Selection("m", ())
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(SelectionError):
+            self.point(weight=0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the SeqPoint selector (paper Fig 10)."""
+
+import pytest
+
+from repro.core.seqpoint import SeqPointSelector
+from repro.errors import SelectionError
+from tests.conftest import make_trace
+
+
+class TestFewUniqueSls:
+    def test_all_unique_become_seqpoints(self):
+        trace = make_trace([(10, 1.0), (10, 1.0), (20, 2.0), (30, 3.0)])
+        result = SeqPointSelector(max_unique=10).select(trace)
+        assert result.k == 0  # no binning path
+        assert sorted(result.selection.seq_lens) == [10, 20, 30]
+
+    def test_weights_are_frequencies(self):
+        trace = make_trace([(10, 1.0)] * 4 + [(20, 2.0)] * 6)
+        result = SeqPointSelector().select(trace)
+        weights = {p.seq_len: p.weight for p in result.seqpoints}
+        assert weights == {10: 4.0, 20: 6.0}
+
+    def test_projection_exact_without_noise(self):
+        trace = make_trace([(10, 1.0)] * 4 + [(20, 2.0)] * 6)
+        result = SeqPointSelector().select(trace)
+        assert result.identification_error_pct == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBinningPath:
+    def linear(self, unique=40, repeats=3):
+        pairs = []
+        for sl in range(10, 10 + unique * 5, 5):
+            pairs.extend([(sl, sl * 0.01)] * repeats)
+        return make_trace(pairs)
+
+    def test_binning_engaged_above_threshold(self):
+        result = SeqPointSelector(max_unique=10, initial_bins=5).select(
+            self.linear()
+        )
+        assert result.k >= 5
+        assert len(result.selection) <= result.k
+
+    def test_error_threshold_met(self):
+        result = SeqPointSelector(error_threshold_pct=1.0).select(self.linear())
+        assert result.identification_error_pct < 1.0
+
+    def test_tighter_threshold_more_bins(self):
+        loose = SeqPointSelector(error_threshold_pct=20.0).select(self.linear())
+        tight = SeqPointSelector(error_threshold_pct=0.05).select(self.linear())
+        assert tight.k >= loose.k
+
+    def test_k_capped_at_unique_sls(self):
+        trace = self.linear(unique=12)
+        result = SeqPointSelector(
+            initial_bins=5, error_threshold_pct=1e-9
+        ).select(trace)
+        assert result.k <= 12
+
+    def test_max_bins_respected(self):
+        result = SeqPointSelector(
+            error_threshold_pct=1e-9, max_bins=7
+        ).select(self.linear())
+        assert result.k <= 7
+
+    def test_weights_cover_epoch(self):
+        trace = self.linear()
+        result = SeqPointSelector().select(trace)
+        assert result.selection.total_weight == pytest.approx(len(trace))
+
+    def test_projection_near_actual(self):
+        trace = self.linear()
+        result = SeqPointSelector().select(trace)
+        assert result.projected_total_s == pytest.approx(
+            result.actual_total_s, rel=0.02
+        )
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SelectionError):
+            SeqPointSelector(max_unique=0)
+        with pytest.raises(SelectionError):
+            SeqPointSelector(initial_bins=0)
+        with pytest.raises(SelectionError):
+            SeqPointSelector(error_threshold_pct=0.0)
+        with pytest.raises(SelectionError):
+            SeqPointSelector(initial_bins=5, max_bins=4)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.data.dataset."""
+
+import pytest
+
+from repro.data.dataset import Sample, SequenceDataset
+from repro.errors import ConfigurationError
+
+
+def dataset(lengths=(5, 5, 10, 20), vocab=100) -> SequenceDataset:
+    return SequenceDataset(
+        name="toy",
+        samples=tuple(Sample(length=l) for l in lengths),
+        vocab=vocab,
+    )
+
+
+class TestSample:
+    def test_positive_length_required(self):
+        with pytest.raises(ConfigurationError):
+            Sample(length=0)
+
+    def test_positive_target_required(self):
+        with pytest.raises(ConfigurationError):
+            Sample(length=5, tgt_length=0)
+
+
+class TestSequenceDataset:
+    def test_lengths_array(self):
+        assert list(dataset().lengths) == [5, 5, 10, 20]
+
+    def test_histogram(self):
+        assert dataset().length_histogram() == {5: 2, 10: 1, 20: 1}
+
+    def test_has_targets(self):
+        paired = SequenceDataset(
+            "mt", (Sample(3, 4), Sample(5, 6)), vocab=10
+        )
+        assert paired.has_targets
+        assert not dataset().has_targets
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequenceDataset("empty", (), vocab=10)
+
+    def test_invalid_vocab_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataset(vocab=0)
+
+
+class TestSplit:
+    def test_partition(self):
+        big = dataset(lengths=tuple(range(1, 101)))
+        train, evaluation = big.split(0.1, seed=3)
+        assert len(train) + len(evaluation) == 100
+        assert len(evaluation) == 10
+
+    def test_deterministic(self):
+        big = dataset(lengths=tuple(range(1, 51)))
+        first = big.split(0.2, seed=9)
+        second = big.split(0.2, seed=9)
+        assert first[1].lengths.tolist() == second[1].lengths.tolist()
+
+    def test_vocab_preserved(self):
+        # Key Observation 6: sampling must keep the full vocabulary.
+        train, evaluation = dataset().split(0.25, seed=0)
+        assert train.vocab == evaluation.vocab == 100
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataset().split(0.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            dataset().split(1.0, seed=0)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.data.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import LogNormalLengths, MixtureLengths
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+class TestLogNormalLengths:
+    def test_respects_bounds(self):
+        dist = LogNormalLengths(median=16, sigma=0.6, min_len=1, max_len=200)
+        lengths = dist.sample(make_rng(0), 10_000)
+        assert lengths.min() >= 1
+        assert lengths.max() <= 200
+
+    def test_median_calibrated(self):
+        dist = LogNormalLengths(median=16, sigma=0.6, min_len=1, max_len=500)
+        lengths = dist.sample(make_rng(0), 50_000)
+        assert 14 <= np.median(lengths) <= 18
+
+    def test_integer_lengths(self):
+        dist = LogNormalLengths(median=10, sigma=0.3, min_len=1, max_len=100)
+        assert dist.sample(make_rng(1), 10).dtype == np.int64
+
+    def test_deterministic_per_seed(self):
+        dist = LogNormalLengths(median=10, sigma=0.3, min_len=1, max_len=100)
+        a = dist.sample(make_rng(5), 100)
+        b = dist.sample(make_rng(5), 100)
+        assert np.array_equal(a, b)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLengths(median=10, sigma=0.3, min_len=10, max_len=5)
+
+    def test_invalid_median_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLengths(median=0, sigma=0.3, min_len=1, max_len=5)
+
+    def test_zero_count_rejected(self):
+        dist = LogNormalLengths(median=10, sigma=0.3, min_len=1, max_len=100)
+        with pytest.raises(ValueError):
+            dist.sample(make_rng(0), 0)
+
+
+class TestMixtureLengths:
+    def mixture(self) -> MixtureLengths:
+        return MixtureLengths.of(
+            (0.3, LogNormalLengths(median=50, sigma=0.2, min_len=10, max_len=100)),
+            (0.7, LogNormalLengths(median=500, sigma=0.2, min_len=200, max_len=900)),
+        )
+
+    def test_bimodal(self):
+        lengths = self.mixture().sample(make_rng(0), 20_000)
+        short = (lengths <= 100).mean()
+        assert 0.25 <= short <= 0.35
+
+    def test_all_within_component_bounds(self):
+        lengths = self.mixture().sample(make_rng(0), 5_000)
+        assert lengths.min() >= 10
+        assert lengths.max() <= 900
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureLengths(components=())
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixtureLengths.of(
+                (0.0, LogNormalLengths(median=5, sigma=0.1, min_len=1, max_len=10))
+            )

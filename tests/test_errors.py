@@ -1,0 +1,41 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    KernelSelectionError,
+    LoweringError,
+    ProjectionError,
+    ReproError,
+    SelectionError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ConfigurationError,
+            KernelSelectionError,
+            LoweringError,
+            ProjectionError,
+            SelectionError,
+            TraceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_catchable_as_single_family(self):
+        # Library callers can catch everything with one clause.
+        caught = []
+        for error_type in (ConfigurationError, TraceError):
+            try:
+                raise error_type("x")
+            except ReproError as err:
+                caught.append(type(err))
+        assert caught == [ConfigurationError, TraceError]

@@ -1,0 +1,70 @@
+"""Small-scale smoke tests for every experiment module.
+
+Runs the full registry at a tiny corpus scale: asserts each experiment
+produces a well-formed table. The paper-shape assertions live in
+``benchmarks/`` where they run at meaningful scale.
+"""
+
+import pytest
+
+from repro.experiments import registry, run_all
+from repro.experiments.base import ExperimentResult
+from repro.experiments.setups import epoch_trace, runner, scenario
+from repro.errors import ConfigurationError
+
+SCALE = 0.01  # ~1.3k GNMT sentences / ~285 DS2 utterances
+
+
+@pytest.mark.parametrize("experiment_id", sorted(registry()))
+def test_experiment_produces_table(experiment_id):
+    result = registry()[experiment_id](SCALE)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.headers
+    assert result.rows
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    rendered = result.render()
+    assert experiment_id in rendered
+
+
+def test_run_all_covers_registry():
+    results = run_all(SCALE)
+    assert {r.experiment_id for r in results} == set(registry())
+
+
+def test_registry_is_copy():
+    registry()["fig03"] = None
+    assert registry()["fig03"] is not None
+
+
+class TestSetups:
+    def test_scenario_cached(self):
+        assert scenario("gnmt", SCALE) is scenario("gnmt", SCALE)
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario("bert", SCALE)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario("gnmt", 0.0)
+
+    def test_trace_cached_per_config(self):
+        assert epoch_trace("ds2", 1, SCALE) is epoch_trace("ds2", 1, SCALE)
+        assert epoch_trace("ds2", 1, SCALE) is not epoch_trace("ds2", 2, SCALE)
+
+    def test_runner_uses_requested_config(self):
+        assert runner("ds2", 3, SCALE).device.config.num_cus == 16
+
+    def test_gnmt_uses_pooled_bucketing(self):
+        from repro.data.batching import PooledBucketing
+
+        assert isinstance(scenario("gnmt", SCALE).batching(), PooledBucketing)
+
+    def test_ds2_uses_sortagrad(self):
+        from repro.data.batching import SortaGradBatching
+
+        policy = scenario("ds2", SCALE).batching()
+        assert isinstance(policy, SortaGradBatching)
+        assert policy.pad_multiple == 4

@@ -1,0 +1,34 @@
+"""Unit tests for the ExperimentResult container."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+
+
+def result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="figXX",
+        title="demo",
+        headers=["name", "value"],
+        rows=[["a", 1], ["b", 2]],
+        notes=["a note"],
+    )
+
+
+class TestExperimentResult:
+    def test_render_contains_id_title_notes(self):
+        text = result().render()
+        assert "[figXX] demo" in text
+        assert "note: a note" in text
+        assert "a" in text and "2" in text
+
+    def test_column_lookup(self):
+        assert result().column("value") == [1, 2]
+
+    def test_column_unknown_header(self):
+        with pytest.raises(ValueError):
+            result().column("missing")
+
+    def test_render_without_notes(self):
+        bare = ExperimentResult("id", "t", ["h"], [[1]])
+        assert "note:" not in bare.render()

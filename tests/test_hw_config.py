@@ -1,0 +1,75 @@
+"""Unit tests for repro.hw.config (paper Table II)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.config import HardwareConfig, PAPER_CONFIGS, VEGA_FE, paper_config
+from repro.util.units import GHZ, KIB, MHZ, MIB
+
+
+class TestTableII:
+    def test_five_configs(self):
+        assert sorted(PAPER_CONFIGS) == [1, 2, 3, 4, 5]
+
+    def test_config1_is_vega_fe(self):
+        assert paper_config(1) is VEGA_FE
+        assert VEGA_FE.gclk_hz == 1.6 * GHZ
+        assert VEGA_FE.num_cus == 64
+        assert VEGA_FE.l1_bytes == 16 * KIB
+        assert VEGA_FE.l2_bytes == 4 * MIB
+
+    def test_config2_halves_clock(self):
+        assert paper_config(2).gclk_hz == 852 * MHZ
+
+    def test_config3_quarters_cus(self):
+        assert paper_config(3).num_cus == 16
+
+    def test_config4_disables_l1(self):
+        config = paper_config(4)
+        assert config.l1_bytes == 0
+        assert not config.l1_enabled
+        assert config.l1_bandwidth == 0.0
+
+    def test_config5_disables_l2(self):
+        config = paper_config(5)
+        assert config.l2_bytes == 0
+        assert not config.l2_enabled
+        assert config.l2_bandwidth == 0.0
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(ConfigurationError, match="1-5"):
+            paper_config(6)
+
+
+class TestDerivedQuantities:
+    def test_peak_flops_vega(self):
+        # 64 CU x 64 lanes x 2 flops x 1.6 GHz = 13.1 TFLOP/s.
+        assert VEGA_FE.peak_flops == pytest.approx(13.1072e12)
+
+    def test_peak_flops_scales_with_clock(self):
+        ratio = paper_config(2).peak_flops / VEGA_FE.peak_flops
+        assert ratio == pytest.approx(852e6 / 1.6e9)
+
+    def test_peak_flops_scales_with_cus(self):
+        assert paper_config(3).peak_flops == pytest.approx(VEGA_FE.peak_flops / 4)
+
+    def test_describe_mentions_disabled_caches(self):
+        assert "L1 off" in paper_config(4).describe()
+        assert "L2 off" in paper_config(5).describe()
+
+
+class TestValidation:
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(name="bad", gclk_hz=0)
+
+    def test_zero_cus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(name="bad", num_cus=0)
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(name="bad", l1_bytes=-1)
+
+    def test_config_is_hashable(self):
+        assert hash(VEGA_FE) == hash(paper_config(1))

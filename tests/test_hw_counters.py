@@ -1,0 +1,42 @@
+"""Unit tests for repro.hw.counters."""
+
+import pytest
+
+from repro.hw.counters import CounterSet
+
+
+class TestCounterSet:
+    def test_addition_fieldwise(self):
+        a = CounterSet(valu_insts=1, dram_read_bytes=2)
+        b = CounterSet(valu_insts=10, dram_write_bytes=5)
+        total = a + b
+        assert total.valu_insts == 11
+        assert total.dram_read_bytes == 2
+        assert total.dram_write_bytes == 5
+
+    def test_scaled(self):
+        scaled = CounterSet(valu_insts=3, busy_cycles=7).scaled(2.0)
+        assert scaled.valu_insts == 6
+        assert scaled.busy_cycles == 14
+
+    def test_zero_identity(self):
+        a = CounterSet(valu_insts=5, l2_read_bytes=9)
+        assert a + CounterSet.zero() == a
+
+    def test_as_dict_covers_all_fields(self):
+        d = CounterSet().as_dict()
+        assert set(d) == {
+            "valu_insts", "dram_read_bytes", "dram_write_bytes",
+            "l2_read_bytes", "write_stall_cycles", "busy_cycles",
+        }
+
+    def test_write_stall_fraction(self):
+        counters = CounterSet(write_stall_cycles=25, busy_cycles=100)
+        assert counters.write_stall_fraction == pytest.approx(0.25)
+
+    def test_write_stall_fraction_no_cycles(self):
+        assert CounterSet().write_stall_fraction == 0.0
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            CounterSet() + 5

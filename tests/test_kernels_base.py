@@ -1,0 +1,43 @@
+"""Unit tests for the kernel invocation record."""
+
+from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
+
+
+def invocation(**overrides) -> KernelInvocation:
+    base = dict(
+        name="k_test",
+        op="test",
+        group="scalar-op",
+        shape=(4, 8),
+        flops=100.0,
+        work_items=256,
+        read_bytes=1024.0,
+        write_bytes=512.0,
+        issue_efficiency=0.5,
+    )
+    base.update(overrides)
+    return make_invocation(**base)
+
+
+class TestMakeInvocation:
+    def test_fields_propagate(self):
+        inv = invocation()
+        assert inv.name == "k_test"
+        assert inv.flops == 100.0
+        assert inv.work.traffic.read_bytes == 1024.0
+        assert inv.work.compute.issue_efficiency == 0.5
+
+    def test_float_width(self):
+        assert FLOAT_BYTES == 4
+
+    def test_hashable_and_equal(self):
+        assert invocation() == invocation()
+        assert hash(invocation()) == hash(invocation())
+
+    def test_different_shapes_distinct(self):
+        assert invocation(shape=(4, 8)) != invocation(shape=(8, 4))
+
+    def test_repr_compact(self):
+        text = repr(invocation())
+        assert "k_test" in text
+        assert "4x8" in text

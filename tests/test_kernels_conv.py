@@ -1,0 +1,72 @@
+"""Unit tests for repro.kernels.conv."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.hw.config import paper_config
+from repro.kernels.conv import Conv2dShape, conv2d_im2col
+
+
+def ds2_conv1(width: int = 800) -> Conv2dShape:
+    """DS2's first convolution at a padded input width."""
+    return Conv2dShape(
+        batch=64, c_in=1, c_out=32, in_h=201, in_w=width,
+        kernel_h=41, kernel_w=11, stride_h=2, stride_w=2,
+    )
+
+
+class TestConv2dShape:
+    def test_output_dims(self):
+        shape = ds2_conv1()
+        assert shape.out_h == (201 - 41) // 2 + 1
+        assert shape.out_w == (800 - 11) // 2 + 1
+
+    def test_patch_size(self):
+        assert ds2_conv1().patch_size == 1 * 41 * 11
+
+    def test_output_positions_scale_with_width(self):
+        assert ds2_conv1(1600).output_positions > ds2_conv1(800).output_positions
+
+    def test_kernel_larger_than_input_rejected(self):
+        with pytest.raises(LoweringError):
+            Conv2dShape(
+                batch=1, c_in=1, c_out=1, in_h=4, in_w=4,
+                kernel_h=8, kernel_w=1,
+            )
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(LoweringError):
+            Conv2dShape(
+                batch=0, c_in=1, c_out=1, in_h=4, in_w=4,
+                kernel_h=1, kernel_w=1,
+            )
+
+
+class TestLowering:
+    def test_two_kernels(self):
+        kernels = conv2d_im2col(ds2_conv1(), paper_config(1))
+        assert len(kernels) == 2
+        assert kernels[0].op == "im2col"
+        assert kernels[1].op == "gemm"
+
+    def test_gemm_shape(self):
+        shape = ds2_conv1()
+        _, matmul = conv2d_im2col(shape, paper_config(1))
+        assert matmul.shape == (32, shape.output_positions, shape.patch_size)
+
+    def test_im2col_write_heavy(self):
+        column, _ = conv2d_im2col(ds2_conv1(), paper_config(1))
+        assert column.work.traffic.write_bytes > 0
+        assert column.work.traffic.write_bytes == pytest.approx(
+            ds2_conv1().output_positions * ds2_conv1().patch_size * 4
+        )
+
+    def test_group_assignment(self):
+        column, matmul = conv2d_im2col(ds2_conv1(), paper_config(1), group="conv")
+        assert matmul.group == "conv"
+        assert column.group == "memops"
+
+    def test_conv_flops_scale_with_width(self):
+        _, small = conv2d_im2col(ds2_conv1(400), paper_config(1))
+        _, large = conv2d_im2col(ds2_conv1(800), paper_config(1))
+        assert large.flops > 1.8 * small.flops

@@ -1,0 +1,44 @@
+"""Unit tests for repro.kernels.elementwise."""
+
+import pytest
+
+from repro.kernels.elementwise import elementwise
+
+
+class TestElementwise:
+    def test_traffic_accounting(self):
+        inv = elementwise("gate", 1000, reads_per_element=3, writes_per_element=2)
+        assert inv.work.traffic.read_bytes == 1000 * 3 * 4
+        assert inv.work.traffic.write_bytes == 1000 * 2 * 4
+
+    def test_flops_accounting(self):
+        inv = elementwise("gate", 1000, flops_per_element=30)
+        assert inv.flops == 30_000
+
+    def test_vectorised_when_inner_dim_aligned(self):
+        inv = elementwise("relu", 1024, inner_dim=64)
+        assert "_v4_" in inv.name
+
+    def test_scalar_when_inner_dim_ragged(self):
+        inv = elementwise("relu", 1024, inner_dim=87)
+        assert "_v1_" in inv.name
+
+    def test_inner_dim_defaults_to_elements(self):
+        assert "_v4_" in elementwise("relu", 1024).name
+        assert "_v1_" in elementwise("relu", 1023).name
+
+    def test_grid_class_small(self):
+        assert elementwise("op", 100).name.endswith("small")
+
+    def test_grid_class_tiled(self):
+        assert elementwise("op", 1 << 18).name.endswith("tiled")
+
+    def test_grid_class_persistent(self):
+        assert elementwise("op", 1 << 23).name.endswith("persistent")
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            elementwise("op", 0)
+
+    def test_default_group(self):
+        assert elementwise("op", 10).group == "scalar-op"

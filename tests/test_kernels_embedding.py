@@ -1,0 +1,40 @@
+"""Unit tests for repro.kernels.embedding."""
+
+import pytest
+
+from repro.kernels.embedding import embedding_gather, embedding_scatter_grad
+
+
+class TestGather:
+    def test_traffic_scales_with_tokens(self):
+        small = embedding_gather(100, 1024, 36549)
+        large = embedding_gather(1000, 1024, 36549)
+        assert large.work.traffic.read_bytes > 9 * small.work.traffic.read_bytes
+
+    def test_l2_working_set_is_table(self):
+        inv = embedding_gather(100, 1024, 36549)
+        assert inv.work.traffic.l2_working_set == 36549 * 1024 * 4
+
+    def test_no_flops(self):
+        assert embedding_gather(10, 16, 100).flops == 0.0
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            embedding_gather(0, 16, 100)
+
+
+class TestScatterGrad:
+    def test_read_modify_write(self):
+        inv = embedding_scatter_grad(100, 1024, 36549)
+        moved = 100 * 1024 * 4
+        assert inv.work.traffic.read_bytes == 2 * moved
+        assert inv.work.traffic.write_bytes == moved
+
+    def test_one_add_per_element(self):
+        inv = embedding_scatter_grad(100, 1024, 36549)
+        assert inv.flops == 100 * 1024
+
+    def test_vocab_size_preserved_in_shape(self):
+        # Key Observation 6: vocabulary must stay full-size.
+        inv = embedding_scatter_grad(10, 8, 12345)
+        assert inv.shape[-1] == 12345

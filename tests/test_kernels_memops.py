@@ -1,0 +1,33 @@
+"""Unit tests for repro.kernels.memops."""
+
+import pytest
+
+from repro.kernels.memops import copy_transform
+
+
+class TestCopyTransform:
+    def test_copy_moves_bytes_once(self):
+        inv = copy_transform("copy", 1000)
+        assert inv.work.traffic.read_bytes == 4000
+        assert inv.work.traffic.write_bytes == 4000
+
+    def test_transpose_reads_extra(self):
+        copy = copy_transform("copy", 1000)
+        transpose = copy_transform("transpose", 1000)
+        assert transpose.work.traffic.read_bytes > copy.work.traffic.read_bytes
+
+    def test_all_known_transforms(self):
+        for transform in ("copy", "transpose", "concat", "pad", "slice"):
+            inv = copy_transform(transform, 64)
+            assert inv.op == transform
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError, match="unknown transform"):
+            copy_transform("shuffle", 10)
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            copy_transform("copy", 0)
+
+    def test_pure_data_movement(self):
+        assert copy_transform("concat", 100).flops == 0.0

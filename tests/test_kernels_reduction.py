@@ -1,0 +1,36 @@
+"""Unit tests for repro.kernels.reduction."""
+
+import pytest
+
+from repro.kernels.reduction import reduction
+
+
+class TestReduction:
+    def test_reads_full_input(self):
+        inv = reduction("sum", rows=10, span=1000)
+        assert inv.work.traffic.read_bytes == 10 * 1000 * 4
+
+    def test_writes_one_per_row(self):
+        inv = reduction("sum", rows=10, span=1000)
+        assert inv.work.traffic.write_bytes == 10 * 4
+
+    def test_variant_by_span(self):
+        assert reduction("sum", 1, 64).name.endswith("warp")
+        assert reduction("sum", 1, 200).name.endswith("wg128")
+        assert reduction("sum", 1, 1 << 9).name.endswith("wg256")
+        assert reduction("sum", 1, 1 << 12).name.endswith("wg512")
+        assert reduction("sum", 1, 1 << 15).name.endswith("multipass")
+
+    def test_span_classes_are_distinct_kernels(self):
+        # The Fig 5 mechanism: span crossing a class boundary changes
+        # the dispatched kernel name.
+        assert reduction("sum", 4, 120).name != reduction("sum", 4, 130).name
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            reduction("sum", 0, 10)
+        with pytest.raises(ValueError):
+            reduction("sum", 10, 0)
+
+    def test_group_default(self):
+        assert reduction("sum", 1, 1).group == "reduce"

@@ -1,0 +1,97 @@
+"""Unit tests for dense, embedding, conv2d, and batchnorm layers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.config import paper_config
+from repro.models.layers.batchnorm import BatchNormLayer
+from repro.models.layers.conv2d import Conv2dLayer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.embedding import EmbeddingLayer
+
+CONFIG = paper_config(1)
+
+
+class TestDenseLayer:
+    def test_forward_gemm_table1_shape(self):
+        layer = DenseLayer("classifier", in_features=1024, out_features=36549)
+        kernels = list(layer.forward(batch=64, steps=94, config=CONFIG))
+        gemm_inv = kernels[0][0]
+        # Table I GEMM-a: M=vocab, N=batch*steps, K=hidden.
+        assert gemm_inv.shape == (36549, 64 * 94, 1024)
+
+    def test_backward_has_dgrad_and_wgrad(self):
+        layer = DenseLayer("fc", 128, 64)
+        shapes = [inv.shape for inv, _ in layer.backward(8, 4, CONFIG)
+                  if inv.op == "gemm"]
+        assert (128, 32, 64) in shapes   # dX = W^T dY
+        assert (64, 128, 32) in shapes   # dW
+
+    def test_param_count_includes_bias(self):
+        assert DenseLayer("fc", 10, 5).param_count() == 5 * 11
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DenseLayer("fc", 0, 5)
+
+
+class TestEmbeddingLayer:
+    def test_forward_token_count(self):
+        layer = EmbeddingLayer("emb", vocab=1000, hidden=64)
+        [(inv, count)] = list(layer.forward(batch=4, steps=10, config=CONFIG))
+        assert inv.shape == (40, 64, 1000)
+        assert count == 1
+
+    def test_param_count(self):
+        assert EmbeddingLayer("emb", 1000, 64).param_count() == 64_000
+
+    def test_steps_identity(self):
+        assert EmbeddingLayer("emb", 10, 4).out_steps(17) == 17
+
+
+class TestConv2dLayer:
+    def ds2_conv1(self) -> Conv2dLayer:
+        return Conv2dLayer(
+            "conv1", c_in=1, c_out=32, height=161,
+            kernel_h=41, kernel_w=11, stride_h=2, stride_w=2,
+            pad_h=20, pad_w=5,
+        )
+
+    def test_out_steps_halved(self):
+        # SL 804 -> 402 post-conv: the Table I N=25728 driver.
+        assert self.ds2_conv1().out_steps(804) == 402
+
+    def test_out_height(self):
+        assert self.ds2_conv1().out_height == 81
+
+    def test_forward_kernel_kinds(self):
+        ops = [inv.op for inv, _ in self.ds2_conv1().forward(64, 100, CONFIG)]
+        assert ops == ["im2col", "gemm", "bias_relu"]
+
+    def test_backward_kernel_kinds(self):
+        ops = [inv.op for inv, _ in self.ds2_conv1().backward(64, 100, CONFIG)]
+        assert ops.count("gemm") == 2
+        assert "relu_grad" in ops
+
+    def test_param_count(self):
+        assert self.ds2_conv1().param_count() == 32 * (41 * 11 + 1)
+
+
+class TestBatchNormLayer:
+    def test_forward_kernels(self):
+        layer = BatchNormLayer("bn", channels=32, spatial_per_step=81)
+        ops = [inv.op for inv, _ in layer.forward(64, 100, CONFIG)]
+        assert ops == ["bn_mean", "bn_var", "bn_norm"]
+
+    def test_span_scales_with_steps(self):
+        layer = BatchNormLayer("bn", channels=32, spatial_per_step=81)
+        short = list(layer.forward(64, 10, CONFIG))
+        long_ = list(layer.forward(64, 100, CONFIG))
+        assert long_[0][0].shape[1] == 10 * short[0][0].shape[1]
+
+    def test_param_count(self):
+        assert BatchNormLayer("bn", 32, 81).param_count() == 64
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchNormLayer("bn", 0, 81)

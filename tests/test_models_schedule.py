@@ -1,0 +1,51 @@
+"""Unit tests for repro.models.schedule."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.hw.config import paper_config
+from repro.kernels.elementwise import elementwise
+from repro.kernels.gemm import gemm
+from repro.models.schedule import KernelSchedule
+
+
+def sample_entries():
+    config = paper_config(1)
+    return [
+        (gemm(64, 64, 64, config), 1),
+        (elementwise("relu", 4096), 10),
+        (gemm(64, 64, 64, config), 2),
+    ]
+
+
+class TestKernelSchedule:
+    def test_launch_count_includes_repeats(self):
+        schedule = KernelSchedule(sample_entries())
+        assert schedule.launch_count == 13
+
+    def test_merged_coalesces_identical(self):
+        schedule = KernelSchedule(sample_entries()).merged()
+        assert len(schedule) == 2
+        assert schedule.launch_count == 13
+
+    def test_merged_preserves_total_flops(self):
+        schedule = KernelSchedule(sample_entries())
+        assert schedule.merged().total_flops == pytest.approx(schedule.total_flops)
+
+    def test_unique_kernel_names(self):
+        schedule = KernelSchedule(sample_entries())
+        assert len(schedule.unique_kernel_names()) == 2
+
+    def test_gemm_shapes_in_order(self):
+        schedule = KernelSchedule(sample_entries())
+        assert schedule.gemm_shapes() == [(64, 64, 64), (64, 64, 64)]
+
+    def test_zero_count_rejected(self):
+        schedule = KernelSchedule()
+        with pytest.raises(LoweringError, match="positive"):
+            schedule.add(elementwise("relu", 16), 0)
+
+    def test_extend(self):
+        schedule = KernelSchedule()
+        schedule.extend(sample_entries())
+        assert len(schedule) == 3

@@ -1,0 +1,71 @@
+"""Unit tests for the SequentialModel container."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.hw.config import paper_config
+from repro.models.layers.conv2d import Conv2dLayer
+from repro.models.layers.dense import DenseLayer
+from repro.models.layers.losses import SoftmaxCrossEntropyLayer
+from repro.models.sequential import SequentialModel
+from repro.models.spec import IterationInputs
+
+CONFIG = paper_config(1)
+
+
+def strided_model() -> SequentialModel:
+    conv = Conv2dLayer(
+        "conv", c_in=1, c_out=4, height=8,
+        kernel_h=3, kernel_w=3, stride_h=1, stride_w=2, pad_h=1, pad_w=1,
+    )
+    dense = DenseLayer("fc", 4 * conv.out_height, 10)
+    return SequentialModel(
+        "strided", [conv, dense], SoftmaxCrossEntropyLayer("ce", 10)
+    )
+
+
+class TestStepTracking:
+    def test_final_steps_follow_strides(self):
+        model = strided_model()
+        # stride 2 with same padding: 100 -> 50.
+        assert model.final_steps(IterationInputs(2, 100)) == 50
+
+    def test_backward_sees_forward_steps(self):
+        # The plan pairs each layer with its *input* steps.
+        model = strided_model()
+        plan = model._forward_plan(IterationInputs(2, 100))
+        assert [steps for _, steps in plan] == [100, 50]
+
+    def test_param_count_sums_layers_and_loss(self):
+        model = strided_model()
+        expected = sum(l.param_count() for l in model.layers)
+        assert model.param_count() == expected  # CE loss has no params
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(LoweringError, match="at least one"):
+            SequentialModel("empty", [], None)
+
+
+class TestLowering:
+    def test_iteration_includes_loss_and_optimizer(self):
+        model = strided_model()
+        ops = {
+            inv.op
+            for inv, _ in model.lower_iteration(IterationInputs(2, 20), CONFIG)
+        }
+        assert "softmax_grad" in ops       # loss backward
+        assert "sgd_momentum" in ops       # optimizer updates
+
+    def test_forward_excludes_backward(self):
+        model = strided_model()
+        ops = {
+            inv.op
+            for inv, _ in model.lower_forward(IterationInputs(2, 20), CONFIG)
+        }
+        assert "softmax_grad" not in ops
+        assert "sgd_momentum" not in ops
+
+    def test_lossless_model_supported(self):
+        model = SequentialModel("headless", [DenseLayer("fc", 8, 4)], None)
+        schedule = model.lower_iteration(IterationInputs(2, 3), CONFIG)
+        assert schedule.launch_count > 0

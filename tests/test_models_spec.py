@@ -1,0 +1,42 @@
+"""Unit tests for IterationInputs and the Model ABC contract."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.models.ds2 import build_ds2
+from repro.models.spec import IterationInputs
+
+
+class TestIterationInputs:
+    def test_valid(self):
+        inputs = IterationInputs(batch=64, seq_len=100, tgt_len=110)
+        assert (inputs.batch, inputs.seq_len, inputs.tgt_len) == (64, 100, 110)
+
+    def test_tgt_optional(self):
+        assert IterationInputs(batch=1, seq_len=1).tgt_len is None
+
+    def test_invalid_batch(self):
+        with pytest.raises(LoweringError):
+            IterationInputs(batch=0, seq_len=10)
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(LoweringError):
+            IterationInputs(batch=1, seq_len=0)
+
+    def test_invalid_tgt_len(self):
+        with pytest.raises(LoweringError):
+            IterationInputs(batch=1, seq_len=10, tgt_len=-5)
+
+    def test_hashable(self):
+        a = IterationInputs(batch=64, seq_len=100)
+        b = IterationInputs(batch=64, seq_len=100)
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestModelContract:
+    def test_repr_names_model(self):
+        assert "ds2" in repr(build_ds2())
+
+    def test_default_sequence_dependent(self):
+        assert build_ds2().sequence_dependent

@@ -1,0 +1,64 @@
+"""Unit tests for repro.profiling.comparison."""
+
+import pytest
+
+from repro.profiling.comparison import kernel_overlap, runtime_share_distance
+from repro.profiling.profiles import ExecutionProfile
+
+
+def profile_from(kernel_times: dict[tuple[str, str], float]) -> ExecutionProfile:
+    p = ExecutionProfile()
+    for (name, group), time_s in kernel_times.items():
+        p.record(name, group, time_s=time_s, flops=1.0)
+    return p
+
+
+class TestKernelOverlap:
+    def test_identical_profiles(self):
+        p = profile_from({("a", "g"): 1.0, ("b", "g"): 1.0})
+        overlap = kernel_overlap(p, p)
+        assert overlap.common == 2
+        assert overlap.exclusive_fraction == 0.0
+
+    def test_partial_overlap(self):
+        a = profile_from({("a", "g"): 1.0, ("b", "g"): 1.0})
+        b = profile_from({("b", "g"): 1.0, ("c", "g"): 1.0})
+        overlap = kernel_overlap(a, b)
+        assert overlap.common == 1
+        assert overlap.only_in_first == 1
+        assert overlap.only_in_second == 1
+        assert overlap.exclusive_fraction == pytest.approx(2 / 3)
+
+    def test_disjoint(self):
+        a = profile_from({("a", "g"): 1.0})
+        b = profile_from({("b", "g"): 1.0})
+        assert kernel_overlap(a, b).common_fraction == 0.0
+
+
+class TestRuntimeShareDistance:
+    def test_identical_is_zero(self):
+        p = profile_from({("a", "G1"): 0.7, ("b", "G2"): 0.3})
+        assert runtime_share_distance(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_groups_is_one(self):
+        a = profile_from({("a", "G1"): 1.0})
+        b = profile_from({("b", "G2"): 1.0})
+        assert runtime_share_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = profile_from({("a", "G1"): 0.7, ("b", "G2"): 0.3})
+        b = profile_from({("a", "G1"): 0.4, ("b", "G2"): 0.6})
+        assert runtime_share_distance(a, b) == pytest.approx(
+            runtime_share_distance(b, a)
+        )
+
+    def test_kernel_granularity(self):
+        a = profile_from({("a", "G"): 0.5, ("b", "G"): 0.5})
+        b = profile_from({("a", "G"): 1.0})
+        assert runtime_share_distance(a, b, by="group") == pytest.approx(0.0)
+        assert runtime_share_distance(a, b, by="kernel") == pytest.approx(0.5)
+
+    def test_unknown_granularity_rejected(self):
+        p = profile_from({("a", "G"): 1.0})
+        with pytest.raises(ValueError):
+            runtime_share_distance(p, p, by="op")

@@ -1,0 +1,52 @@
+"""Unit tests for repro.profiling.cost."""
+
+import pytest
+
+from repro.core.selection import SelectedPoint, Selection
+from repro.errors import ProjectionError
+from repro.profiling.cost import ProfilingCostModel
+from tests.conftest import make_record, make_trace
+
+
+def selection(times=(1.0, 2.0)) -> Selection:
+    points = tuple(
+        SelectedPoint(record=make_record(i, 10 * (i + 1), t), weight=5.0)
+        for i, t in enumerate(times)
+    )
+    return Selection(method="seqpoint", points=points)
+
+
+class TestProfilingCostModel:
+    def test_epoch_cost(self):
+        model = ProfilingCostModel(overhead_multiplier=10.0, setup_s=5.0)
+        trace = make_trace([(10, 1.0), (20, 3.0)])
+        assert model.epoch_profiling_s(trace) == pytest.approx(5.0 + 40.0)
+
+    def test_selection_serial_cost(self):
+        model = ProfilingCostModel(overhead_multiplier=10.0, setup_s=5.0)
+        assert model.selection_profiling_s(selection()) == pytest.approx(35.0)
+
+    def test_selection_parallel_cost_uses_slowest(self):
+        model = ProfilingCostModel(overhead_multiplier=10.0, setup_s=5.0)
+        assert model.selection_parallel_s(selection()) == pytest.approx(25.0)
+
+    def test_speedups(self):
+        model = ProfilingCostModel(overhead_multiplier=10.0, setup_s=0.0)
+        trace = make_trace([(10, 1.0)] * 100)
+        outcome = model.speedups(trace, selection(times=(1.0,)))
+        assert outcome.serial_speedup == pytest.approx(100.0)
+        assert outcome.parallel_speedup == pytest.approx(100.0)
+
+    def test_parallel_never_slower_than_serial(self):
+        model = ProfilingCostModel()
+        trace = make_trace([(10, 0.5)] * 50)
+        outcome = model.speedups(trace, selection())
+        assert outcome.parallel_speedup >= outcome.serial_speedup
+
+    def test_invalid_overhead_rejected(self):
+        with pytest.raises(ProjectionError):
+            ProfilingCostModel(overhead_multiplier=0.9)
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ProjectionError):
+            ProfilingCostModel(setup_s=-1.0)

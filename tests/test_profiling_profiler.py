@@ -1,0 +1,44 @@
+"""Unit tests for repro.profiling.profiler."""
+
+import pytest
+
+from repro.models.ds2 import build_ds2
+from repro.models.spec import IterationInputs
+from repro.profiling.profiler import Profiler
+from repro.train.iteration import IterationExecutor
+
+
+class TestProfiler:
+    def test_profile_matches_execution_time(self, device1):
+        model = build_ds2()
+        profiler = Profiler(model, device1)
+        executor = IterationExecutor(model, device1, host_overhead_s=0.0)
+        inputs = IterationInputs(64, 300)
+        profiled = profiler.profile_iteration(inputs)
+        executed = executor.run(inputs)
+        assert profiled.time_s == pytest.approx(executed.time_s)
+
+    def test_profile_covers_all_launches(self, device1):
+        profiler = Profiler(build_ds2(), device1)
+        profiled = profiler.profile_seq_len(200, batch=64)
+        executor = IterationExecutor(build_ds2(), device1)
+        assert profiled.profile.total_launches == executor.run(
+            IterationInputs(64, 200)
+        ).launches
+
+    def test_mean_counters_per_kernel(self, device1):
+        profiler = Profiler(build_ds2(), device1)
+        means = profiler.profile_seq_len(200, batch=64).mean_counters_per_kernel()
+        assert means["valu_insts"] > 0
+        assert means["busy_cycles"] > 0
+
+    def test_profiling_cost_applies_overhead(self, device1):
+        profiler = Profiler(build_ds2(), device1, overhead_multiplier=10.0)
+        profiles = [profiler.profile_seq_len(100, batch=64)]
+        assert profiler.profiling_cost_s(profiles) == pytest.approx(
+            profiles[0].time_s * 10.0
+        )
+
+    def test_overhead_below_one_rejected(self, device1):
+        with pytest.raises(ValueError):
+            Profiler(build_ds2(), device1, overhead_multiplier=0.5)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.profiling.profiles."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.profiling.profiles import ExecutionProfile
+
+
+def profile() -> ExecutionProfile:
+    p = ExecutionProfile()
+    p.record("gemm_a", "GEMM-1", time_s=0.6, flops=1e9, launches=2)
+    p.record("gemm_b", "GEMM-2", time_s=0.3, flops=5e8, launches=10)
+    p.record("relu", "scalar-op", time_s=0.1, flops=1e6, launches=3)
+    return p
+
+
+class TestExecutionProfile:
+    def test_totals(self):
+        p = profile()
+        assert p.total_time_s == pytest.approx(1.0)
+        assert p.total_launches == 15
+
+    def test_accumulates_same_kernel(self):
+        p = profile()
+        p.record("gemm_a", "GEMM-1", time_s=0.4, flops=1e9, launches=1)
+        assert p.kernels[("gemm_a", "GEMM-1")].time_s == pytest.approx(1.0)
+        assert p.kernels[("gemm_a", "GEMM-1")].launches == 3
+
+    def test_same_kernel_two_groups_kept_separate(self):
+        p = ExecutionProfile()
+        p.record("gemm_x", "GEMM-1", time_s=0.5, flops=1.0)
+        p.record("gemm_x", "GEMM-2", time_s=0.5, flops=1.0)
+        assert len(p.kernels) == 2
+        assert p.unique_kernel_names() == {"gemm_x"}
+
+    def test_group_shares_sum_to_one(self):
+        shares = profile().runtime_share_by_group()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["GEMM-1"] == pytest.approx(0.6)
+
+    def test_kernel_shares(self):
+        shares = profile().runtime_share_by_kernel()
+        assert shares["gemm_b"] == pytest.approx(0.3)
+
+    def test_top_kernels_ranked(self):
+        top = profile().top_kernels(2)
+        assert [stat.name for stat in top] == ["gemm_a", "gemm_b"]
+
+    def test_empty_profile_shares_raise(self):
+        with pytest.raises(TraceError):
+            ExecutionProfile().runtime_share_by_group()

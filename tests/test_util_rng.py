@@ -1,0 +1,37 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seed_different_stream(self):
+        assert make_rng(7).random() != make_rng(8).random()
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_base_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_result_in_range(self):
+        seed = derive_seed(123456789, "component", 42)
+        assert 0 <= seed < 2**63
+
+    def test_children_independent(self):
+        a = make_rng(derive_seed(5, "dataset"))
+        b = make_rng(derive_seed(5, "shuffle"))
+        assert a.random() != b.random()

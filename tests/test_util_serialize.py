@@ -1,0 +1,31 @@
+"""Unit tests for repro.util.serialize."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.util.serialize import dump_json, load_json
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "artefact.json"
+        dump_json({"value": 42, "nested": {"a": [1, 2]}}, path, schema="test.v1")
+        loaded = load_json(path, schema="test.v1")
+        assert loaded["value"] == 42
+        assert loaded["nested"] == {"a": [1, 2]}
+
+    def test_schema_stamped(self, tmp_path):
+        path = tmp_path / "artefact.json"
+        dump_json({}, path, schema="test.v2")
+        assert load_json(path, schema="test.v2")["schema"] == "test.v2"
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "artefact.json"
+        dump_json({}, path, schema="test.v1")
+        with pytest.raises(TraceError, match="expected schema"):
+            load_json(path, schema="test.v2")
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "artefact.json"
+        dump_json({"x": 1}, path, schema="s")
+        assert load_json(path, schema="s")["x"] == 1

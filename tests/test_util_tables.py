@@ -1,0 +1,34 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # All rows padded to the same width.
+        assert len(lines[1]) == len(lines[2].rstrip()) or len(lines) == 4
+
+    def test_title_prepended(self):
+        text = render_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError, match="column"):
+            render_table([], [])
+
+    def test_no_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

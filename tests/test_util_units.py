@@ -1,0 +1,76 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GHZ,
+    GIB,
+    KIB,
+    MHZ,
+    MIB,
+    format_bytes,
+    format_duration,
+    format_frequency,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_frequency_ladder(self):
+        assert GHZ == 1000 * MHZ
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(16 * KIB) == "16.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(4 * MIB) == "4.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(2.5 * GIB) == "2.5 GiB"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (2.0, "2.00 s"),
+            (0.5, "500.00 ms"),
+            (2e-5, "20.00 us"),
+            (3e-9, "3 ns"),
+            (90.0, "1.50 min"),
+            (7200.0, "2.00 h"),
+        ],
+    )
+    def test_units(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_duration(-0.1)
+
+
+class TestFormatFrequency:
+    def test_ghz(self):
+        assert format_frequency(1.6 * GHZ) == "1.60 GHz"
+
+    def test_mhz(self):
+        assert format_frequency(852 * MHZ) == "852 MHz"
+
+    def test_hz(self):
+        assert format_frequency(500) == "500 Hz"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_frequency(-1)
