@@ -1,0 +1,57 @@
+"""API-cache bench: repeated analyses reuse the simulated epoch trace.
+
+The engine's content-addressed cache is what makes sweeping selectors
+or thresholds over one scenario cheap: the identification epoch is
+simulated once and every subsequent analysis of the same scenario is a
+cache hit.  This bench makes the speedup visible and asserts the
+hit/miss accounting that the speedup rests on.
+"""
+
+import time
+
+from repro.api import AnalysisEngine, AnalysisSpec
+
+
+def test_api_cache_hit_speedup(benchmark, scale):
+    engine = AnalysisEngine()
+    spec = AnalysisSpec(network="gnmt", scale=scale)
+
+    start = time.perf_counter()
+    first = engine.run(spec)
+    cold_s = time.perf_counter() - start
+    assert engine.cache.stats()["misses"] == 1
+
+    warm = benchmark.pedantic(engine.run, args=(spec,), rounds=3, iterations=1)
+
+    start = time.perf_counter()
+    second = engine.run(spec)
+    warm_s = time.perf_counter() - start
+
+    stats = engine.cache.stats()
+    assert stats["misses"] == 1, "reruns must not re-simulate"
+    assert stats["hits"] >= 4
+    assert warm_s < cold_s
+    assert first.to_dict() == second.to_dict() == warm.to_dict()
+    print(
+        f"\ncold analysis {cold_s:.3f}s vs cached {warm_s:.3f}s "
+        f"({cold_s / max(warm_s, 1e-9):.0f}x); cache {stats}"
+    )
+
+
+def test_api_run_many_dedup(benchmark, scale):
+    """Specs differing only in selector share one identification epoch."""
+    engine = AnalysisEngine()
+    methods = ("seqpoint", "frequent", "median", "prior")
+    specs = [
+        AnalysisSpec(network="ds2", scale=scale, selector=method)
+        for method in methods
+    ]
+
+    results = benchmark.pedantic(
+        engine.run_many, args=(specs,), rounds=1, iterations=1
+    )
+
+    assert tuple(result.method for result in results) == methods
+    assert engine.cache.stats()["misses"] == 1, (
+        "a selector sweep must simulate its scenario exactly once"
+    )

@@ -1,62 +1,55 @@
-"""Quickstart: identify SeqPoints for GNMT and project across hardware.
+"""Quickstart: the complete paper workflow as one declarative request.
 
-The complete paper workflow in ~40 lines:
-
-1. simulate one training epoch of GNMT on the baseline GPU (config #1),
-   logging each iteration's sequence length and runtime;
-2. identify SeqPoints (paper Fig 10);
-3. re-run ONLY those iterations on a different hardware configuration
-   and project the full epoch's training time there;
-4. compare against the ground-truth epoch on that configuration.
+1. describe the analysis as data: network, corpus, pipeline, hardware
+   config, selector — an :class:`AnalysisSpec` (JSON-serializable);
+2. the engine simulates one identification epoch, identifies SeqPoints
+   (paper Fig 10), and projects full-epoch training time onto other
+   hardware configurations by re-running ONLY the selected iterations;
+3. a second analysis of the same scenario reuses the cached epoch
+   trace — sweeping selectors or thresholds costs one simulation.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    GpuDevice,
-    PooledBucketing,
-    SeqPointSelector,
-    TrainingRunSimulator,
-    build_gnmt,
-    build_iwslt,
-    paper_config,
-    project_epoch_time,
-)
+import json
+
+from repro import AnalysisEngine, AnalysisSpec, ProjectionSpec
 from repro.util.units import format_duration
 
-BATCH_SIZE = 64
-
 # A reduced IWSLT'15-like corpus keeps the demo to a few seconds.
-model = build_gnmt()
-corpus = build_iwslt(sentences=12_000)
+spec = AnalysisSpec(network="gnmt", scale=0.1)
+print("request:", json.dumps(spec.to_dict()))
 
-# 1. One identification epoch on the baseline configuration.
-baseline = TrainingRunSimulator(
-    model, corpus, PooledBucketing(BATCH_SIZE), GpuDevice(paper_config(1))
-)
-trace = baseline.run_epoch(include_eval=False)
-print(f"epoch: {len(trace)} iterations, "
-      f"{len(trace.unique_seq_lens())} unique sequence lengths, "
-      f"total {format_duration(trace.total_time_s)}")
+# 1-2. Simulate on config #1, identify SeqPoints, project onto
+#      config #3 (16 compute units instead of 64).
+engine = AnalysisEngine()
+result = engine.run(spec, ProjectionSpec(targets=(1, 3)))
 
-# 2. Identify SeqPoints.
-result = SeqPointSelector().select(trace)
-print(f"SeqPoints ({len(result.selection)} iterations, k={result.k} bins, "
+print(f"\nepoch: {result.iterations} iterations, "
+      f"{result.unique_seq_lens} unique sequence lengths, "
+      f"total {format_duration(result.actual_total_s)}")
+print(f"SeqPoints ({len(result)} iterations, k={result.k} bins, "
       f"identification error {result.identification_error_pct:.2f}%):")
-for point in result.seqpoints:
+for point in result.points:
     print(f"  SL {point.seq_len:>4}  weight {point.weight:>6.0f} iterations")
 
-# 3. Project the epoch time on config #3 (16 CUs instead of 64) by
-#    executing only the SeqPoint iterations there.
-other = TrainingRunSimulator(
-    model, corpus, PooledBucketing(BATCH_SIZE), GpuDevice(paper_config(3))
-)
-projected = project_epoch_time(result.selection, other)
+for projection in result.projections:
+    print(f"\n{projection.config_name}: "
+          f"projected {format_duration(projection.projected_time_s)} "
+          f"(actual {format_duration(projection.actual_time_s)}, "
+          f"error {projection.error_pct:.2f}%, "
+          f"throughput uplift {projection.actual_uplift_pct:+.1f}%)")
+print(f"iterations executed per projection: "
+      f"{result.selection.iterations_to_profile} of {result.iterations}")
 
-# 4. Ground truth: the full epoch on config #3.
-actual = other.run_epoch(include_eval=False).total_time_s
-error = abs(projected - actual) / actual * 100
-print(f"\nconfig #3 projection: {format_duration(projected)} "
-      f"(actual {format_duration(actual)}, error {error:.2f}%)")
-print(f"iterations executed for the projection: "
-      f"{result.selection.iterations_to_profile} of {len(trace)}")
+# 3. Sweep the baseline selectors over the same scenario: the epoch
+#    trace is cached, so these four analyses simulate nothing new.
+sweep = engine.run_many(
+    [AnalysisSpec(network="gnmt", scale=0.1, selector=method)
+     for method in ("frequent", "median", "worst", "prior")]
+)
+print("\nbaseline identification errors (same cached epoch):")
+for baseline in sweep:
+    print(f"  {baseline.method:>8}: "
+          f"{baseline.identification_error_pct:7.2f}%")
+print(f"cache: {engine.cache.stats()}")

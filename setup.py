@@ -1,6 +1,7 @@
 """Setup shim: enables legacy editable installs (`pip install -e .
 --no-use-pep517`) on machines without the `wheel` package (offline
-environments).  All metadata lives in pyproject.toml.
+environments).  All metadata lives in pyproject.toml; the console
+script (`repro = repro.cli:main`) is declared there too.
 """
 
 from setuptools import setup

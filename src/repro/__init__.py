@@ -4,6 +4,25 @@ neural networks (Pati et al., ISPASS 2020), on a simulated GPU substrate.
 Public API tour
 ---------------
 
+The declarative front door — describe an analysis as data, let the
+engine resolve, simulate, select, and project::
+
+    from repro import AnalysisEngine, AnalysisSpec, ProjectionSpec
+
+    spec = AnalysisSpec(network="gnmt", scale=0.1)
+    result = AnalysisEngine().run(spec, ProjectionSpec(targets=(1, 3)))
+    print(result.identification_error_pct)
+    print(result.to_dict())          # JSON-serializable throughout
+
+Specs round-trip through JSON (``AnalysisSpec.from_dict``), components
+are addressed by name through registries (``repro.api.MODELS`` and
+friends), batches of specs fan out with ``AnalysisEngine.run_many``,
+and identification epochs are shared through a content-addressed trace
+cache — the same spec analysed twice simulates once.  The ``repro
+analyze`` CLI is the same engine from the shell.
+
+The imperative layer underneath remains fully public.
+
 Hardware (paper Table II)::
 
     from repro import GpuDevice, paper_config
@@ -29,6 +48,14 @@ Project behaviour on other hardware (paper Figs 11-16)::
     predicted = project_epoch_time(result.selection, other)
 """
 
+from repro.api import (
+    AnalysisEngine,
+    AnalysisResult,
+    AnalysisSpec,
+    ProjectionSpec,
+    TraceCache,
+    default_engine,
+)
 from repro.core import (
     FrequentSelector,
     KMeansSelector,
@@ -66,9 +93,15 @@ from repro.profiling.export import export_selection, load_manifest
 from repro.train import TrainingRunSimulator, TrainingTrace
 from repro.train.inference import InferenceRunSimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalysisEngine",
+    "AnalysisResult",
+    "AnalysisSpec",
+    "ProjectionSpec",
+    "TraceCache",
+    "default_engine",
     "FrequentSelector",
     "KMeansSelector",
     "MedianSelector",

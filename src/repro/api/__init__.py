@@ -1,0 +1,44 @@
+"""Declarative front door to the SeqPoint reproduction.
+
+Describe an analysis once, as data; the engine does the wiring::
+
+    from repro.api import AnalysisEngine, AnalysisSpec, ProjectionSpec
+
+    spec = AnalysisSpec(network="gnmt", scale=0.1)
+    result = AnalysisEngine().run(spec, ProjectionSpec(targets=(1, 3)))
+    print(result.to_dict())
+
+Components are addressed by name through string-keyed registries
+(:data:`MODELS`, :data:`DATASETS`, :data:`BATCHING`,
+:data:`SELECTORS`); specs round-trip through JSON; identification
+epochs are shared through a content-addressed :class:`TraceCache`.
+"""
+
+from repro.api.cache import TraceCache
+from repro.api.engine import (
+    AnalysisEngine,
+    AnalysisResult,
+    ConfigProjection,
+    ResolvedAnalysis,
+    SelectedPointSummary,
+    default_engine,
+)
+from repro.api.registry import BATCHING, DATASETS, MODELS, SELECTORS, Registry
+from repro.api.spec import AnalysisSpec, ProjectionSpec
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisResult",
+    "AnalysisSpec",
+    "ProjectionSpec",
+    "ConfigProjection",
+    "ResolvedAnalysis",
+    "SelectedPointSummary",
+    "TraceCache",
+    "Registry",
+    "MODELS",
+    "DATASETS",
+    "BATCHING",
+    "SELECTORS",
+    "default_engine",
+]

@@ -1,0 +1,121 @@
+"""Content-addressed trace cache: memory-first, optionally on disk.
+
+Simulating an identification epoch is the expensive step of every
+analysis; everything downstream (selection, projection, sweeps over
+selectors or thresholds) is orders of magnitude cheaper.  The cache
+keys each trace by a stable hash of the spec fields that determine the
+simulation (:meth:`AnalysisSpec.trace_fingerprint`), so any two
+requests that would simulate the same epoch share one trace — within a
+process through the in-memory map, and across processes through an
+optional on-disk store of the trace's JSON artefact.
+
+Hit/miss counters make the reuse measurable (see
+``benchmarks/bench_api_cache.py``); per-key locks make concurrent
+``get_or_compute`` calls for the same key simulate once, which is what
+lets :meth:`AnalysisEngine.run_many` deduplicate shared work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections.abc import Callable, Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.train.trace import TrainingTrace
+
+__all__ = ["TraceCache"]
+
+
+class TraceCache:
+    """Keyed store of :class:`TrainingTrace` artefacts."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, TrainingTrace] = {}
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    @staticmethod
+    def key_for(fingerprint: Mapping[str, Any]) -> str:
+        """Stable content hash of a fingerprint mapping."""
+        canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> TrainingTrace | None:
+        """Look ``key`` up (memory, then disk), counting the outcome."""
+        with self._lock:
+            trace = self._memory.get(key)
+        if trace is not None:
+            with self._lock:
+                self.hits += 1
+            return trace
+        path = self._path(key)
+        if path is not None and path.exists():
+            trace = TrainingTrace.load(path)
+            with self._lock:
+                self._memory[key] = trace
+                self.hits += 1
+            return trace
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, trace: TrainingTrace) -> None:
+        with self._lock:
+            self._memory[key] = trace
+        path = self._path(key)
+        if path is not None:
+            trace.save(path)
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], TrainingTrace]
+    ) -> TrainingTrace:
+        """Return the cached trace, computing and storing it on a miss.
+
+        Concurrent callers with the same key serialise on a per-key
+        lock, so the expensive simulation runs exactly once.
+        """
+        with self._lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            trace = self.get(key)
+            if trace is None:
+                trace = compute()
+                self.put(key, trace)
+            return trace
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._memory),
+            }
+
+    def clear(self) -> None:
+        """Drop in-memory entries and counters (disk files are kept)."""
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        path = self._path(key) if isinstance(key, str) else None
+        return path is not None and path.exists()

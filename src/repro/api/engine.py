@@ -1,0 +1,369 @@
+"""The analysis engine: spec in, selection + projections out.
+
+:class:`AnalysisEngine` is the one resolution path from a declarative
+:class:`~repro.api.spec.AnalysisSpec` to simulated results.  It builds
+the model, corpus, and batching pipeline through the registries, runs
+the identification epoch through the :class:`TraceCache`, applies the
+named selector, and projects epoch time/throughput onto any requested
+Table II configurations.  ``repro.experiments.setups`` delegates here,
+so the experiment harness, the CLI, and programmatic callers all share
+one cache and produce identical numbers for identical requests.
+
+``run_many`` fans a batch of specs out over a thread pool; the cache's
+per-key locking deduplicates shared simulations, so e.g. a sweep of
+five selectors over one scenario costs one epoch, not five.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from threading import Lock
+from typing import Any
+
+from repro.api.cache import TraceCache
+from repro.api.registry import DATASETS, MODELS, SELECTORS, build_batching
+from repro.api.spec import AnalysisSpec, ProjectionSpec
+from repro.core.projection import (
+    project_epoch_time,
+    project_throughput,
+    project_total,
+    uplift_pct,
+)
+from repro.core.selection import Selection
+from repro.core.seqpoint import SeqPointResult
+from repro.data.batching import BatchingPolicy
+from repro.data.dataset import SequenceDataset
+from repro.hw.config import paper_config
+from repro.hw.device import GpuDevice
+from repro.models.spec import Model
+from repro.train.runner import TrainingRunSimulator
+from repro.train.trace import TrainingTrace
+from repro.util.stats import percent_error
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisResult",
+    "ConfigProjection",
+    "SelectedPointSummary",
+    "ResolvedAnalysis",
+    "default_engine",
+    "EVAL_FRACTION",
+    "NOISE_SIGMA",
+]
+
+#: Held-out split for the evaluation phase (paper §IV-C1, ~2-3%).
+EVAL_FRACTION = 0.02
+#: Seed of the train/eval split — fixed so every config sees one corpus.
+SPLIT_SEED = 7
+#: Run-to-run measurement jitter of real hardware (log-normal sigma).
+#: Deterministic per (config, iteration), so analyses stay exactly
+#: reproducible while error magnitudes stay honest.
+NOISE_SIGMA = 0.02
+
+
+@dataclass(frozen=True)
+class ResolvedAnalysis:
+    """A scenario's named parts, resolved to concrete objects.
+
+    Shared by every spec with the same (network, dataset, batching,
+    batch_size, scale) — config, seed, and selector do not change what
+    resolution produces.
+    """
+
+    model: Model
+    train_data: SequenceDataset
+    eval_data: SequenceDataset
+    batching: BatchingPolicy
+
+
+@dataclass(frozen=True)
+class SelectedPointSummary:
+    """One selected iteration, reduced to its serializable essentials."""
+
+    seq_len: int
+    tgt_len: int | None
+    weight: float
+    time_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq_len": self.seq_len,
+            "tgt_len": self.tgt_len,
+            "weight": self.weight,
+            "time_s": self.time_s,
+        }
+
+
+@dataclass(frozen=True)
+class ConfigProjection:
+    """Projected vs actual behaviour on one Table II configuration."""
+
+    config: int
+    config_name: str
+    projected_time_s: float
+    actual_time_s: float
+    error_pct: float
+    projected_throughput: float
+    actual_throughput: float
+    #: Throughput uplift relative to the spec's identification config.
+    projected_uplift_pct: float
+    actual_uplift_pct: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "config_name": self.config_name,
+            "projected_time_s": self.projected_time_s,
+            "actual_time_s": self.actual_time_s,
+            "error_pct": self.error_pct,
+            "projected_throughput": self.projected_throughput,
+            "actual_throughput": self.actual_throughput,
+            "projected_uplift_pct": self.projected_uplift_pct,
+            "actual_uplift_pct": self.actual_uplift_pct,
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything one analysis produced, JSON-serializable throughout.
+
+    ``selection`` keeps the full :class:`Selection` for programmatic
+    reuse (further projections, export); ``to_dict`` emits the
+    summarised ``points`` instead so results serialise compactly.
+    """
+
+    spec: AnalysisSpec
+    selection: Selection
+    points: tuple[SelectedPointSummary, ...]
+    iterations: int
+    unique_seq_lens: int
+    #: Bins used by SeqPoint; ``None`` for selectors without binning.
+    k: int | None
+    identification_error_pct: float
+    projected_total_s: float
+    actual_total_s: float
+    projections: tuple[ConfigProjection, ...]
+
+    @property
+    def method(self) -> str:
+        return self.selection.method
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "method": self.method,
+            "points": [point.to_dict() for point in self.points],
+            "iterations": self.iterations,
+            "unique_seq_lens": self.unique_seq_lens,
+            "iterations_to_profile": self.selection.iterations_to_profile,
+            "k": self.k,
+            "identification_error_pct": self.identification_error_pct,
+            "projected_total_s": self.projected_total_s,
+            "actual_total_s": self.actual_total_s,
+            "projections": [p.to_dict() for p in self.projections],
+        }
+
+
+class AnalysisEngine:
+    """Resolves and executes :class:`AnalysisSpec` requests."""
+
+    def __init__(
+        self,
+        cache: TraceCache | None = None,
+        noise_sigma: float = NOISE_SIGMA,
+    ):
+        self.cache = cache if cache is not None else TraceCache()
+        self.noise_sigma = noise_sigma
+        self._resolved: dict[tuple, ResolvedAnalysis] = {}
+        self._runners: dict[tuple, TrainingRunSimulator] = {}
+        self._state_lock = Lock()
+
+    # -- resolution ---------------------------------------------------
+
+    def resolve(self, spec: AnalysisSpec) -> ResolvedAnalysis:
+        """Build (and memoise) the spec's model, data, and pipeline."""
+        key = (
+            spec.network, spec.dataset, spec.batching,
+            spec.batch_size, spec.scale,
+        )
+        with self._state_lock:
+            resolved = self._resolved.get(key)
+            if resolved is None:
+                corpus = DATASETS.create(spec.dataset, scale=spec.scale)
+                train, evaluation = corpus.split(EVAL_FRACTION, seed=SPLIT_SEED)
+                resolved = ResolvedAnalysis(
+                    model=MODELS.create(spec.network),
+                    train_data=train,
+                    eval_data=evaluation,
+                    batching=build_batching(
+                        spec.batching, spec.batch_size, dataset=spec.dataset
+                    ),
+                )
+                self._resolved[key] = resolved
+            return resolved
+
+    def runner_for(self, spec: AnalysisSpec) -> TrainingRunSimulator:
+        """Training simulator for the spec's scenario and config."""
+        resolved = self.resolve(spec)
+        key = (
+            spec.network, spec.dataset, spec.batching,
+            spec.batch_size, spec.scale, spec.config, spec.seed,
+        )
+        with self._state_lock:
+            runner = self._runners.get(key)
+            if runner is None:
+                runner = TrainingRunSimulator(
+                    model=resolved.model,
+                    dataset=resolved.train_data,
+                    batching=resolved.batching,
+                    device=GpuDevice(paper_config(spec.config)),
+                    eval_dataset=resolved.eval_data,
+                    noise_sigma=self.noise_sigma,
+                    # One dataset and one batching plan; each config is
+                    # a separate physical run with its own jitter.
+                    seed=spec.seed,
+                    noise_seed=spec.config,
+                )
+                self._runners[key] = runner
+            return runner
+
+    def trace_key(self, spec: AnalysisSpec) -> str:
+        """Cache key of the spec's identification trace."""
+        fingerprint = dict(spec.trace_fingerprint())
+        fingerprint["noise_sigma"] = self.noise_sigma
+        return TraceCache.key_for(fingerprint)
+
+    def trace_for(self, spec: AnalysisSpec) -> TrainingTrace:
+        """The spec's simulated identification epoch, through the cache."""
+        return self.cache.get_or_compute(
+            self.trace_key(spec),
+            lambda: self.runner_for(spec).run_epoch(include_eval=True),
+        )
+
+    # -- execution ----------------------------------------------------
+
+    def _select(
+        self, spec: AnalysisSpec, trace: TrainingTrace
+    ) -> tuple[Selection, int | None, float, float]:
+        """Apply the spec's selector; uniform numbers for any method."""
+        outcome = spec.build_selector().select(trace)
+        if isinstance(outcome, SeqPointResult):
+            return (
+                outcome.selection,
+                outcome.k,
+                outcome.identification_error_pct,
+                outcome.projected_total_s,
+            )
+        projected = project_total(outcome, lambda point: point.record.time_s)
+        error = percent_error(projected, trace.total_time_s)
+        return outcome, None, error, projected
+
+    def _project(
+        self,
+        spec: AnalysisSpec,
+        selection: Selection,
+        targets: tuple[int, ...],
+    ) -> tuple[ConfigProjection, ...]:
+        base_projected_tp = project_throughput(selection, self.runner_for(spec))
+        base_actual_tp = self.trace_for(spec).throughput
+
+        projections = []
+        for target in targets:
+            target_spec = replace(spec, config=target)
+            target_runner = self.runner_for(target_spec)
+            target_trace = self.trace_for(target_spec)
+            projected_s = project_epoch_time(selection, target_runner)
+            projected_tp = project_throughput(selection, target_runner)
+            actual_tp = target_trace.throughput
+            projections.append(
+                ConfigProjection(
+                    config=target,
+                    config_name=paper_config(target).name,
+                    projected_time_s=projected_s,
+                    actual_time_s=target_trace.total_time_s,
+                    error_pct=percent_error(
+                        projected_s, target_trace.total_time_s
+                    ),
+                    projected_throughput=projected_tp,
+                    actual_throughput=actual_tp,
+                    projected_uplift_pct=uplift_pct(
+                        base_projected_tp, projected_tp
+                    ),
+                    actual_uplift_pct=uplift_pct(base_actual_tp, actual_tp),
+                )
+            )
+        return tuple(projections)
+
+    def run(
+        self,
+        spec: AnalysisSpec,
+        projection: ProjectionSpec | None = None,
+    ) -> AnalysisResult:
+        """Simulate, select, and project one analysis request.
+
+        Without a ``projection`` the result projects onto the spec's
+        own identification config (the paper's identification-error
+        check); pass ``ProjectionSpec()`` for all five Table II configs.
+        """
+        trace = self.trace_for(spec)
+        selection, k, error, projected = self._select(spec, trace)
+        targets = (
+            projection.targets if projection is not None else (spec.config,)
+        )
+        return AnalysisResult(
+            spec=spec,
+            selection=selection,
+            points=tuple(
+                SelectedPointSummary(
+                    seq_len=point.seq_len,
+                    tgt_len=point.tgt_len,
+                    weight=point.weight,
+                    time_s=point.record.time_s,
+                )
+                for point in selection.points
+            ),
+            iterations=len(trace),
+            unique_seq_lens=len(trace.unique_seq_lens()),
+            k=k,
+            identification_error_pct=error,
+            projected_total_s=projected,
+            actual_total_s=trace.total_time_s,
+            projections=self._project(spec, selection, targets),
+        )
+
+    def run_many(
+        self,
+        specs: list[AnalysisSpec] | tuple[AnalysisSpec, ...],
+        projection: ProjectionSpec | None = None,
+        max_workers: int | None = None,
+    ) -> list[AnalysisResult]:
+        """Run a batch of specs concurrently; results in input order.
+
+        Shared work deduplicates through the trace cache: specs that
+        differ only in selector reuse one identification epoch.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if max_workers is None:
+            max_workers = min(len(specs), os.cpu_count() or 4)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(lambda s: self.run(s, projection), specs))
+
+
+_DEFAULT_ENGINE: AnalysisEngine | None = None
+_DEFAULT_LOCK = Lock()
+
+
+def default_engine() -> AnalysisEngine:
+    """The process-wide engine the CLI and experiments harness share."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = AnalysisEngine()
+        return _DEFAULT_ENGINE

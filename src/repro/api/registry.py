@@ -1,0 +1,232 @@
+"""String-keyed component registries behind the declarative API.
+
+An :class:`AnalysisSpec` names its parts — a model, a dataset, a
+batching policy, a selector — and these registries resolve the names to
+factories.  Everything the library ships is pre-registered; downstream
+code can add entries with the same ``register`` decorator to make new
+components addressable from specs, the CLI, and serialized requests:
+
+    from repro.api import MODELS
+
+    @MODELS.register("my-rnn")
+    def build_my_rnn():
+        return ...
+
+Factory conventions (what the engine calls them with):
+
+* **models** — no arguments; returns a :class:`~repro.models.spec.Model`.
+* **datasets** — ``(scale)``; returns a
+  :class:`~repro.data.dataset.SequenceDataset` whose population is the
+  paper-sized corpus shrunk proportionally (floored at 256 samples so
+  tiny scales still make a few batches).
+* **batching** — ``(batch_size, pad_multiple=1)``; returns a
+  :class:`~repro.data.batching.BatchingPolicy`.
+* **selectors** — keyword arguments only; returns an object with a
+  ``select(trace)`` method.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+from repro.core.baselines import (
+    FrequentSelector,
+    MedianSelector,
+    PriorSelector,
+    WorstSelector,
+)
+from repro.core.kmeans import KMeansSelector
+from repro.core.seqpoint import SeqPointSelector
+from repro.data.batching import (
+    PooledBucketing,
+    ShuffledBatching,
+    SortaGradBatching,
+    SortedBatching,
+)
+from repro.data.iwslt import IWSLT_SENTENCES, build_iwslt
+from repro.data.librispeech import LIBRISPEECH_UTTERANCES, build_librispeech
+from repro.errors import ConfigurationError
+from repro.models.cnn import build_cnn
+from repro.models.convs2s import build_convs2s
+from repro.models.ds2 import build_ds2
+from repro.models.gnmt import build_gnmt
+from repro.models.transformer import build_transformer
+
+__all__ = [
+    "Registry",
+    "MODELS",
+    "DATASETS",
+    "BATCHING",
+    "SELECTORS",
+    "default_dataset",
+    "default_batching",
+    "dataset_pad_multiple",
+    "build_batching",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Smallest synthesized corpus at any scale — a handful of batches.
+MIN_CORPUS_SAMPLES = 256
+
+
+class Registry:
+    """A named string → factory mapping with discoverable entries."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Callable[..., Any]] = {}
+
+    def register(self, name: str) -> Callable[[F], F]:
+        """Decorator: register ``factory`` under ``name``."""
+
+        def decorate(factory: F) -> F:
+            if name in self._entries:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already registered"
+                )
+            self._entries[name] = factory
+            return factory
+
+        return decorate
+
+    def available(self) -> tuple[str, ...]:
+        """All registered names, sorted (for listings and errors)."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.available())}"
+            ) from None
+
+    def create(self, name: str, /, *args: Any, **kwargs: Any) -> Any:
+        """Resolve ``name`` and invoke its factory."""
+        return self.get(name)(*args, **kwargs)
+
+
+MODELS = Registry("model")
+DATASETS = Registry("dataset")
+BATCHING = Registry("batching policy")
+SELECTORS = Registry("selector")
+
+
+# -- models -----------------------------------------------------------
+
+MODELS.register("gnmt")(build_gnmt)
+MODELS.register("ds2")(build_ds2)
+MODELS.register("transformer")(build_transformer)
+MODELS.register("convs2s")(build_convs2s)
+MODELS.register("cnn")(build_cnn)
+
+
+# -- datasets ---------------------------------------------------------
+
+def _scaled(population: int, scale: float) -> int:
+    return max(MIN_CORPUS_SAMPLES, int(population * scale))
+
+
+@DATASETS.register("iwslt")
+def _iwslt(scale: float = 1.0):
+    return build_iwslt(sentences=_scaled(IWSLT_SENTENCES, scale))
+
+
+@DATASETS.register("librispeech")
+def _librispeech(scale: float = 1.0):
+    return build_librispeech(utterances=_scaled(LIBRISPEECH_UTTERANCES, scale))
+
+
+#: Frame-based (speech) pipelines pad the time axis to a multiple of
+#: four for kernel alignment (paper §V-A); token pipelines do not.
+_DATASET_PAD_MULTIPLE = {"librispeech": 4}
+
+#: The corpus each network trains on in the paper (§VI-B); networks the
+#: paper does not pair with data default to the token corpus.
+_DEFAULT_DATASET = {
+    "gnmt": "iwslt",
+    "ds2": "librispeech",
+    "transformer": "iwslt",
+    "convs2s": "iwslt",
+    "cnn": "iwslt",
+}
+
+#: The input pipeline each network's reference implementation uses:
+#: pooled bucketing for NMT-style models, SortaGrad for DS2 (§VI-D).
+_DEFAULT_BATCHING = {
+    "gnmt": "pooled",
+    "ds2": "sortagrad",
+    "transformer": "pooled",
+    "convs2s": "pooled",
+    "cnn": "shuffled",
+}
+
+
+def default_dataset(network: str) -> str:
+    """The registered dataset a network trains on by default."""
+    MODELS.get(network)  # error with the available listing if unknown
+    return _DEFAULT_DATASET[network]
+
+
+def default_batching(network: str) -> str:
+    """The registered batching policy a network uses by default."""
+    MODELS.get(network)
+    return _DEFAULT_BATCHING[network]
+
+
+def dataset_pad_multiple(dataset: str) -> int:
+    """Sequence-length padding granularity a dataset's pipeline needs."""
+    DATASETS.get(dataset)
+    return _DATASET_PAD_MULTIPLE.get(dataset, 1)
+
+
+def build_batching(name: str, batch_size: int, dataset: str | None = None):
+    """Build a batching policy, honouring the dataset's pad multiple."""
+    pad = dataset_pad_multiple(dataset) if dataset is not None else 1
+    return BATCHING.create(name, batch_size, pad_multiple=pad)
+
+
+# -- batching policies ------------------------------------------------
+
+@BATCHING.register("pooled")
+def _pooled(batch_size: int, pad_multiple: int = 1):
+    return PooledBucketing(batch_size, pad_multiple=pad_multiple)
+
+
+@BATCHING.register("sorted")
+def _sorted(batch_size: int, pad_multiple: int = 1):
+    return SortedBatching(batch_size, pad_multiple=pad_multiple)
+
+
+@BATCHING.register("shuffled")
+def _shuffled(batch_size: int, pad_multiple: int = 1):
+    return ShuffledBatching(batch_size, pad_multiple=pad_multiple)
+
+
+@BATCHING.register("sortagrad")
+def _sortagrad(batch_size: int, pad_multiple: int = 1):
+    return SortaGradBatching(batch_size, pad_multiple=pad_multiple)
+
+
+# -- selectors --------------------------------------------------------
+
+SELECTORS.register("seqpoint")(SeqPointSelector)
+SELECTORS.register("frequent")(FrequentSelector)
+SELECTORS.register("median")(MedianSelector)
+SELECTORS.register("worst")(WorstSelector)
+SELECTORS.register("prior")(PriorSelector)
+
+
+@SELECTORS.register("kmeans")
+def _kmeans(k: int = 5, seed: int = 0):
+    return KMeansSelector(k=k, seed=seed)

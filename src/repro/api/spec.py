@@ -1,0 +1,206 @@
+"""Declarative analysis requests: frozen, validated, JSON round-trip.
+
+An :class:`AnalysisSpec` is the serializable description of one
+SeqPoint analysis — which network, on which corpus and input pipeline,
+identified on which Table II configuration, with which selector.  A
+:class:`ProjectionSpec` names the configurations to project onto.  Both
+validate eagerly (unknown names, bad ranges) so a malformed request
+fails at construction, not minutes into a simulation, and both
+round-trip through ``to_dict``/``from_dict`` so requests can live in
+JSON files, HTTP payloads, or experiment manifests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.api import registry
+from repro.errors import ConfigurationError, ReproError
+from repro.hw.config import paper_config
+
+__all__ = ["AnalysisSpec", "ProjectionSpec", "DEFAULT_BATCH_SIZE"]
+
+#: The paper's fixed mini-batch size (§VI-B).
+DEFAULT_BATCH_SIZE = 64
+
+#: Bumped whenever simulation semantics change, so stale on-disk traces
+#: can never satisfy a newer spec.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _freeze_kwargs(value: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalise selector kwargs to a sorted, hashable tuple of pairs."""
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        try:
+            items = [(k, v) for k, v in value]
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"selector_kwargs must be a mapping, got {value!r}"
+            ) from None
+    frozen = []
+    for key, item in sorted(items):
+        if not isinstance(key, str):
+            raise ConfigurationError(
+                f"selector_kwargs keys must be strings, got {key!r}"
+            )
+        frozen.append((key, item))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One SeqPoint analysis, declaratively.
+
+    ``dataset`` and ``batching`` default to the network's paper setup
+    (GNMT: IWSLT with pooled bucketing; DS2: LibriSpeech with
+    SortaGrad) and are resolved to concrete names at construction so a
+    spec is always fully explicit once built.  ``selector_kwargs`` is
+    stored as a sorted tuple of pairs to keep the spec hashable; use
+    :attr:`selector_options` for the dict view.
+    """
+
+    network: str
+    dataset: str | None = None
+    batching: str | None = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: Table II configuration the identification epoch runs on.
+    config: int = 1
+    scale: float = 1.0
+    #: Data-order seed for the simulated run.
+    seed: int = 0
+    selector: str = "seqpoint"
+    selector_kwargs: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        registry.MODELS.get(self.network)
+        if self.dataset is None:
+            object.__setattr__(
+                self, "dataset", registry.default_dataset(self.network)
+            )
+        if self.batching is None:
+            object.__setattr__(
+                self, "batching", registry.default_batching(self.network)
+            )
+        registry.DATASETS.get(self.dataset)
+        registry.BATCHING.get(self.batching)
+        if not isinstance(self.batch_size, int) or self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be a positive int, got {self.batch_size!r}"
+            )
+        try:
+            object.__setattr__(self, "config", int(self.config))
+            object.__setattr__(self, "scale", float(self.scale))
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"config/scale must be numeric, got {self.config!r}/"
+                f"{self.scale!r}"
+            ) from None
+        paper_config(self.config)
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigurationError(
+                f"scale must lie in (0, 1], got {self.scale}"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigurationError(f"seed must be an int, got {self.seed!r}")
+        object.__setattr__(
+            self, "selector_kwargs", _freeze_kwargs(self.selector_kwargs)
+        )
+        self.build_selector()  # fail now, not after a simulation
+
+    @property
+    def selector_options(self) -> dict[str, Any]:
+        return dict(self.selector_kwargs)
+
+    def build_selector(self) -> Any:
+        """Instantiate the named selector with this spec's kwargs."""
+        try:
+            return registry.SELECTORS.create(
+                self.selector, **self.selector_options
+            )
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"selector {self.selector!r} rejected kwargs "
+                f"{self.selector_options}: {exc}"
+            ) from None
+        except ReproError as exc:
+            raise ConfigurationError(
+                f"selector {self.selector!r} rejected kwargs "
+                f"{self.selector_options}: {exc}"
+            ) from None
+
+    def trace_fingerprint(self) -> dict[str, Any]:
+        """The simulation-relevant fields, for content-addressed caching.
+
+        Selector choice deliberately excluded: sweeping selectors or
+        thresholds over one scenario must reuse the same epoch trace.
+        """
+        return {
+            "v": TRACE_SCHEMA_VERSION,
+            "network": self.network,
+            "dataset": self.dataset,
+            "batching": self.batching,
+            "batch_size": self.batch_size,
+            "config": self.config,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "network": self.network,
+            "dataset": self.dataset,
+            "batching": self.batching,
+            "batch_size": self.batch_size,
+            "config": self.config,
+            "scale": self.scale,
+            "seed": self.seed,
+            "selector": self.selector,
+            "selector_kwargs": self.selector_options,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnalysisSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown AnalysisSpec fields: {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class ProjectionSpec:
+    """Which Table II configurations to project the analysis onto."""
+
+    targets: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+    def __post_init__(self) -> None:
+        try:
+            frozen = tuple(int(t) for t in self.targets)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"targets must be config indices, got {self.targets!r}"
+            ) from None
+        if not frozen:
+            raise ConfigurationError("targets cannot be empty")
+        for target in frozen:
+            paper_config(target)
+        object.__setattr__(self, "targets", frozen)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"targets": list(self.targets)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ProjectionSpec":
+        unknown = sorted(set(payload) - {"targets"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ProjectionSpec fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(payload))

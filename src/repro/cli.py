@@ -1,37 +1,57 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
-``python -m repro configs``
+``repro configs``
     Print the Table II hardware configurations.
 
-``python -m repro identify --network gnmt [--scale 0.1] [--threshold 1.0]``
+``repro identify --network gnmt [--scale 0.1] [--threshold 1.0]``
     Simulate an identification epoch and print the SeqPoints.
 
-``python -m repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
+``repro analyze --network gnmt [--targets 1,3] [--format json]``
+    The full declarative pipeline: resolve an :class:`AnalysisSpec`
+    (inline flags or ``--spec spec.json``), simulate, select, and
+    project onto the requested hardware configurations.
+
+``repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
     Regenerate paper tables/figures (all by default) and print (or
     write) the result tables.
+
+(``repro`` is the installed entry point; ``python -m repro`` works
+without installation.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
+from repro.api.cache import TraceCache
+from repro.api.engine import AnalysisEngine, AnalysisResult, default_engine
+from repro.api.registry import BATCHING, DATASETS, MODELS, SELECTORS
+from repro.api.spec import AnalysisSpec, ProjectionSpec
 from repro.core.seqpoint import SeqPointSelector
+from repro.errors import ReproError
 from repro.experiments import registry
-from repro.experiments.setups import NETWORKS, epoch_trace
+from repro.experiments.setups import epoch_trace
 from repro.hw.config import PAPER_CONFIGS
+from repro.util.tables import render_table
 from repro.util.units import format_duration
 
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SeqPoint (ISPASS 2020) reproduction harness",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -40,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     identify = commands.add_parser(
         "identify", help="identify SeqPoints for a network"
     )
-    identify.add_argument("--network", choices=NETWORKS, required=True)
+    identify.add_argument("--network", choices=MODELS.available(), required=True)
     identify.add_argument(
         "--scale", type=float, default=0.1,
         help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
@@ -48,6 +68,57 @@ def build_parser() -> argparse.ArgumentParser:
     identify.add_argument(
         "--threshold", type=float, default=1.0,
         help="identification error threshold e, percent (default 1.0)",
+    )
+    identify.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default table)",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run a declarative analysis (simulate, select, project)",
+    )
+    analyze.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON AnalysisSpec file; mutually exclusive with inline flags",
+    )
+    analyze.add_argument("--network", choices=MODELS.available())
+    analyze.add_argument(
+        "--dataset", choices=DATASETS.available(),
+        help="corpus (default: the network's paper dataset)",
+    )
+    analyze.add_argument(
+        "--batching", choices=BATCHING.available(),
+        help="input pipeline (default: the network's paper pipeline)",
+    )
+    analyze.add_argument("--batch-size", type=int, default=None)
+    analyze.add_argument(
+        "--config", type=int, default=None,
+        help="Table II config the identification epoch runs on (default 1)",
+    )
+    analyze.add_argument(
+        "--scale", type=float, default=None,
+        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
+    )
+    analyze.add_argument("--seed", type=int, default=None)
+    analyze.add_argument("--selector", choices=SELECTORS.available())
+    analyze.add_argument(
+        "--selector-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="selector keyword argument (repeatable), e.g. "
+        "--selector-arg error_threshold_pct=0.5",
+    )
+    analyze.add_argument(
+        "--targets", default=None,
+        help="comma-separated Table II configs to project onto, or 'all' "
+        "(default: the identification config only)",
+    )
+    analyze.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default table)",
+    )
+    analyze.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulated traces to DIR and reuse them across runs",
     )
 
     experiments = commands.add_parser(
@@ -73,9 +144,32 @@ def _cmd_configs() -> int:
     return 0
 
 
-def _cmd_identify(network: str, scale: float, threshold: float) -> int:
+def _cmd_identify(
+    network: str, scale: float, threshold: float, fmt: str
+) -> int:
     trace = epoch_trace(network, 1, scale)
     result = SeqPointSelector(error_threshold_pct=threshold).select(trace)
+    if fmt == "json":
+        payload = {
+            "network": network,
+            "iterations": len(trace),
+            "unique_seq_lens": len(trace.unique_seq_lens()),
+            "epoch_time_s": trace.total_time_s,
+            "k": result.k,
+            "identification_error_pct": result.identification_error_pct,
+            "projected_total_s": result.projected_total_s,
+            "actual_total_s": result.actual_total_s,
+            "seqpoints": [
+                {
+                    "seq_len": point.seq_len,
+                    "weight": point.weight,
+                    "time_s": point.record.time_s,
+                }
+                for point in result.seqpoints
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(
         f"{network}: {len(trace)} iterations, "
         f"{len(trace.unique_seq_lens())} unique SLs, "
@@ -90,6 +184,127 @@ def _cmd_identify(network: str, scale: float, threshold: float) -> int:
             f"  SL {point.seq_len:>5}  weight {point.weight:>8.0f}  "
             f"runtime {format_duration(point.record.time_s)}"
         )
+    return 0
+
+
+def _parse_selector_args(pairs: list[str]) -> dict[str, object]:
+    kwargs: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(
+                f"--selector-arg expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            kwargs[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            kwargs[key] = raw
+    return kwargs
+
+
+def _parse_targets(raw: str | None, fallback: int) -> tuple[int, ...]:
+    if raw is None:
+        return (fallback,)
+    if raw.strip() == "all":
+        return tuple(PAPER_CONFIGS)
+    try:
+        targets = tuple(
+            int(token) for token in raw.split(",") if token.strip()
+        )
+    except ValueError:
+        raise ReproError(
+            f"--targets expects comma-separated config indices, got {raw!r}"
+        ) from None
+    if not targets:
+        raise ReproError("--targets is empty")
+    return targets
+
+
+def _analyze_spec(args: argparse.Namespace) -> AnalysisSpec:
+    inline = {
+        "network": args.network,
+        "dataset": args.dataset,
+        "batching": args.batching,
+        "batch_size": args.batch_size,
+        "config": args.config,
+        "scale": args.scale,
+        "seed": args.seed,
+        "selector": args.selector,
+    }
+    inline = {key: value for key, value in inline.items() if value is not None}
+    selector_kwargs = _parse_selector_args(args.selector_arg)
+    if selector_kwargs:
+        inline["selector_kwargs"] = selector_kwargs
+
+    if args.spec is not None:
+        if inline:
+            raise ReproError(
+                "--spec and inline spec flags are mutually exclusive "
+                f"(got inline: {', '.join(sorted(inline))})"
+            )
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return AnalysisSpec.from_dict(json.load(handle))
+    if "network" not in inline:
+        raise ReproError("analyze needs --network (or --spec FILE)")
+    inline.setdefault("scale", 0.1)
+    return AnalysisSpec.from_dict(inline)
+
+
+def _render_analysis(result: AnalysisResult) -> str:
+    spec = result.spec
+    parts = [
+        f"{spec.network} on {spec.dataset} ({spec.batching}, "
+        f"batch {spec.batch_size}, scale {spec.scale}, "
+        f"identified on config#{spec.config})",
+        f"{result.iterations} iterations, "
+        f"{result.unique_seq_lens} unique SLs, "
+        f"epoch {format_duration(result.actual_total_s)}",
+        f"{result.method}: {len(result)} points"
+        + (f" (k={result.k})" if result.k is not None else "")
+        + f", identification error {result.identification_error_pct:.3f}%",
+        "",
+        render_table(
+            ["seq_len", "tgt_len", "weight", "time_s"],
+            [
+                [p.seq_len, p.tgt_len if p.tgt_len is not None else "-",
+                 round(p.weight, 1), p.time_s]
+                for p in result.points
+            ],
+            title="selected points",
+        ),
+        "",
+        render_table(
+            ["config", "projected", "actual", "error %",
+             "uplift % (proj)", "uplift % (actual)"],
+            [
+                [p.config_name, format_duration(p.projected_time_s),
+                 format_duration(p.actual_time_s), round(p.error_pct, 3),
+                 round(p.projected_uplift_pct, 2),
+                 round(p.actual_uplift_pct, 2)]
+                for p in result.projections
+            ],
+            title="projections",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    try:
+        spec = _analyze_spec(args)
+        projection = ProjectionSpec(targets=_parse_targets(args.targets, spec.config))
+        if args.cache_dir is not None:
+            engine = AnalysisEngine(cache=TraceCache(args.cache_dir))
+        else:
+            engine = default_engine()
+        result = engine.run(spec, projection)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(_render_analysis(result))
     return 0
 
 
@@ -125,5 +340,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "configs":
         return _cmd_configs()
     if args.command == "identify":
-        return _cmd_identify(args.network, args.scale, args.threshold)
+        return _cmd_identify(args.network, args.scale, args.threshold, args.format)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     return _cmd_experiments(args.scale, args.ids, args.output)

@@ -3,8 +3,13 @@
 A *scenario* is everything §VI fixes per network: the model, the
 corpus, the batching pipeline (GNMT: pooled bucketing; DS2: SortaGrad's
 sorted first epoch with time padded to a multiple of 4 frames), and
-batch size 64.  Epoch traces and runners are memoised per
-(network, config) because every experiment reuses them.
+batch size 64.
+
+Since the :mod:`repro.api` redesign this module is a thin wrapper over
+the declarative engine: ``scenario``/``runner``/``epoch_trace`` resolve
+through the same registries and share the same process-wide trace cache
+as ``AnalysisEngine`` requests and the ``repro analyze`` CLI, so every
+entry point produces identical numbers for identical setups.
 
 ``scale`` shrinks the corpus proportionally (for fast tests); 1.0 is
 the paper-sized population.
@@ -15,29 +20,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.data.batching import BatchingPolicy, PooledBucketing, SortaGradBatching
+from repro.api.engine import EVAL_FRACTION, NOISE_SIGMA, default_engine
+from repro.api.registry import build_batching
+from repro.api.spec import DEFAULT_BATCH_SIZE, AnalysisSpec
+from repro.data.batching import BatchingPolicy
 from repro.data.dataset import SequenceDataset
-from repro.data.iwslt import IWSLT_SENTENCES, build_iwslt
-from repro.data.librispeech import LIBRISPEECH_UTTERANCES, build_librispeech
-from repro.errors import ConfigurationError
-from repro.hw.device import GpuDevice
-from repro.hw.config import paper_config
-from repro.models.ds2 import build_ds2
-from repro.models.gnmt import build_gnmt
 from repro.models.spec import Model
 from repro.train.runner import TrainingRunSimulator
 from repro.train.trace import TrainingTrace
 
 __all__ = ["Scenario", "scenario", "runner", "epoch_trace", "NETWORKS", "BATCH_SIZE"]
 
+#: The two networks the paper evaluates end to end.
 NETWORKS = ("gnmt", "ds2")
-BATCH_SIZE = 64
-#: Held-out split for the evaluation phase (paper §IV-C1, ~2-3%).
-EVAL_FRACTION = 0.02
-#: Run-to-run measurement jitter of real hardware (log-normal sigma).
-#: Deterministic per (seed, iteration), so experiments stay exactly
-#: reproducible while error magnitudes stay honest.
-NOISE_SIGMA = 0.02
+BATCH_SIZE = DEFAULT_BATCH_SIZE
+
+# EVAL_FRACTION and NOISE_SIGMA remain importable from here; they are
+# defined (and documented) next to the engine's resolution path.
 
 
 @dataclass(frozen=True)
@@ -50,32 +49,24 @@ class Scenario:
     eval_data: SequenceDataset
 
     def batching(self) -> BatchingPolicy:
-        if self.network == "gnmt":
-            return PooledBucketing(BATCH_SIZE)
-        # SortaGrad: the identification epoch (epoch 0) is sorted.
-        return SortaGradBatching(BATCH_SIZE, pad_multiple=4)
+        spec = _spec(self.network)
+        return build_batching(spec.batching, BATCH_SIZE, dataset=spec.dataset)
+
+
+def _spec(network: str, config_index: int = 1, scale: float = 1.0) -> AnalysisSpec:
+    """The default-scenario spec (validates network and scale)."""
+    return AnalysisSpec(network=network, config=config_index, scale=scale)
 
 
 @lru_cache(maxsize=None)
 def scenario(network: str, scale: float = 1.0) -> Scenario:
     """Build (and cache) a network's scenario."""
-    if not 0.0 < scale <= 1.0:
-        raise ConfigurationError(f"scale must lie in (0, 1], got {scale}")
-    if network == "gnmt":
-        corpus = build_iwslt(sentences=max(256, int(IWSLT_SENTENCES * scale)))
-        model: Model = build_gnmt()
-    elif network == "ds2":
-        corpus = build_librispeech(
-            utterances=max(256, int(LIBRISPEECH_UTTERANCES * scale))
-        )
-        model = build_ds2()
-    else:
-        raise ConfigurationError(
-            f"unknown network {network!r}; expected one of {NETWORKS}"
-        )
-    train, evaluation = corpus.split(EVAL_FRACTION, seed=7)
+    resolved = default_engine().resolve(_spec(network, scale=scale))
     return Scenario(
-        network=network, model=model, train_data=train, eval_data=evaluation
+        network=network,
+        model=resolved.model,
+        train_data=resolved.train_data,
+        eval_data=resolved.eval_data,
     )
 
 
@@ -84,19 +75,7 @@ def runner(
     network: str, config_index: int, scale: float = 1.0
 ) -> TrainingRunSimulator:
     """Training simulator for a network on one Table II config."""
-    setup = scenario(network, scale)
-    return TrainingRunSimulator(
-        model=setup.model,
-        dataset=setup.train_data,
-        batching=setup.batching(),
-        device=GpuDevice(paper_config(config_index)),
-        eval_dataset=setup.eval_data,
-        noise_sigma=NOISE_SIGMA,
-        # One dataset and one batching plan; each configuration is a
-        # separate physical run with its own measurement jitter.
-        seed=0,
-        noise_seed=config_index,
-    )
+    return default_engine().runner_for(_spec(network, config_index, scale))
 
 
 @lru_cache(maxsize=None)
@@ -104,4 +83,4 @@ def epoch_trace(
     network: str, config_index: int, scale: float = 1.0
 ) -> TrainingTrace:
     """One simulated training epoch (memoised ground truth)."""
-    return runner(network, config_index, scale).run_epoch(include_eval=True)
+    return default_engine().trace_for(_spec(network, config_index, scale))

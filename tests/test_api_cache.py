@@ -1,0 +1,96 @@
+"""Unit tests for the content-addressed trace cache."""
+
+from repro.api.cache import TraceCache
+
+from tests.conftest import make_trace
+
+
+def small_trace(time_s: float = 1.0) -> object:
+    return make_trace([(10, time_s), (20, 2 * time_s)])
+
+
+class TestKeying:
+    def test_stable(self):
+        fingerprint = {"network": "gnmt", "scale": 0.1}
+        assert TraceCache.key_for(fingerprint) == TraceCache.key_for(fingerprint)
+
+    def test_key_order_irrelevant(self):
+        assert TraceCache.key_for({"a": 1, "b": 2}) == TraceCache.key_for(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_sensitive(self):
+        assert TraceCache.key_for({"a": 1}) != TraceCache.key_for({"a": 2})
+
+
+class TestMemory:
+    def test_miss_then_hit(self):
+        cache = TraceCache()
+        assert cache.get("k") is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 0}
+        trace = small_trace()
+        cache.put("k", trace)
+        assert cache.get("k") is trace
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_get_or_compute_runs_once(self):
+        cache = TraceCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return small_trace()
+
+        first = cache.get_or_compute("k", compute)
+        second = cache.get_or_compute("k", compute)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_contains_and_len(self):
+        cache = TraceCache()
+        assert "k" not in cache
+        cache.put("k", small_trace())
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = TraceCache()
+        cache.put("k", small_trace())
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestDisk:
+    def test_round_trip_across_instances(self, tmp_path):
+        writer = TraceCache(tmp_path)
+        trace = small_trace(0.5)
+        writer.put("deadbeef", trace)
+        assert (tmp_path / "deadbeef.json").exists()
+
+        reader = TraceCache(tmp_path)
+        restored = reader.get("deadbeef")
+        assert restored is not None
+        assert reader.stats()["hits"] == 1
+        assert restored.total_time_s == trace.total_time_s
+        assert [r.seq_len for r in restored.records] == [10, 20]
+
+    def test_disk_hit_populates_memory(self, tmp_path):
+        TraceCache(tmp_path).put("k", small_trace())
+        cache = TraceCache(tmp_path)
+        first = cache.get("k")
+        second = cache.get("k")
+        assert first is second  # second hit served from memory
+
+    def test_contains_consults_disk(self, tmp_path):
+        TraceCache(tmp_path).put("k", small_trace())
+        assert "k" in TraceCache(tmp_path)
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.put("k", small_trace())
+        cache.clear()
+        assert cache.get("k") is not None

@@ -1,0 +1,171 @@
+"""Integration tests for the analysis engine (tiny corpus scale)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AnalysisEngine,
+    AnalysisSpec,
+    ProjectionSpec,
+    TraceCache,
+)
+from repro.core.seqpoint import SeqPointSelector
+from repro.experiments.setups import epoch_trace
+
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def engine() -> AnalysisEngine:
+    return AnalysisEngine()
+
+
+@pytest.fixture(scope="module")
+def gnmt_result(engine):
+    return engine.run(
+        AnalysisSpec(network="gnmt", scale=SCALE),
+        ProjectionSpec(targets=(1, 3)),
+    )
+
+
+class TestRun:
+    def test_selection_shape(self, gnmt_result):
+        assert gnmt_result.method == "seqpoint"
+        assert gnmt_result.k is not None and gnmt_result.k >= 1
+        assert len(gnmt_result) == len(gnmt_result.points)
+        assert gnmt_result.identification_error_pct < 5.0
+        # Weights account for every iteration of the epoch.
+        assert sum(p.weight for p in gnmt_result.points) == pytest.approx(
+            gnmt_result.iterations
+        )
+
+    def test_projections(self, gnmt_result):
+        configs = [p.config for p in gnmt_result.projections]
+        assert configs == [1, 3]
+        base, target = gnmt_result.projections
+        assert base.config_name == "config#1"
+        assert base.projected_uplift_pct == 0.0
+        assert base.actual_uplift_pct == 0.0
+        # Config #3 has a quarter of the CUs: slower, negative uplift.
+        assert target.actual_time_s > base.actual_time_s
+        assert target.actual_uplift_pct < 0.0
+        assert target.error_pct < 10.0
+
+    def test_result_is_json_serialisable(self, gnmt_result):
+        payload = json.loads(json.dumps(gnmt_result.to_dict()))
+        assert payload["spec"]["network"] == "gnmt"
+        assert payload["method"] == "seqpoint"
+        assert len(payload["projections"]) == 2
+        assert payload["iterations_to_profile"] == len(payload["points"])
+
+    def test_matches_imperative_pipeline(self, engine, gnmt_result):
+        """The declarative path reproduces the hand-wired numbers."""
+        trace = epoch_trace("gnmt", 1, SCALE)
+        expected = SeqPointSelector().select(trace)
+        assert gnmt_result.identification_error_pct == pytest.approx(
+            expected.identification_error_pct
+        )
+        assert gnmt_result.actual_total_s == pytest.approx(trace.total_time_s)
+        assert tuple(p.seq_len for p in gnmt_result.points) == tuple(
+            p.seq_len for p in expected.seqpoints
+        )
+
+    def test_default_projection_is_identification_config(self, engine):
+        result = engine.run(AnalysisSpec(network="gnmt", scale=SCALE, config=2))
+        assert [p.config for p in result.projections] == [2]
+
+    def test_baseline_selector_has_no_binning(self, engine):
+        result = engine.run(
+            AnalysisSpec(network="gnmt", scale=SCALE, selector="median")
+        )
+        assert result.method == "median"
+        assert result.k is None
+        assert len(result) == 1
+
+    def test_selector_kwargs_forwarded(self, engine):
+        loose = engine.run(
+            AnalysisSpec(
+                network="gnmt", scale=SCALE,
+                selector_kwargs={"error_threshold_pct": 50.0},
+            )
+        )
+        assert loose.k is not None
+        # A 50% threshold is satisfied by the very first k.
+        assert loose.k <= 5
+
+
+class TestCaching:
+    def test_second_run_hits_cache(self):
+        engine = AnalysisEngine()
+        spec = AnalysisSpec(network="gnmt", scale=SCALE)
+        engine.run(spec)
+        misses = engine.cache.stats()["misses"]
+        assert misses == 1
+        hits_before = engine.cache.stats()["hits"]
+        engine.run(spec)
+        stats = engine.cache.stats()
+        assert stats["misses"] == misses  # no re-simulation
+        assert stats["hits"] > hits_before
+
+    def test_selector_sweep_shares_trace(self):
+        engine = AnalysisEngine()
+        for selector in ("seqpoint", "frequent", "median"):
+            engine.run(AnalysisSpec(network="gnmt", scale=SCALE,
+                                    selector=selector))
+        assert engine.cache.stats()["misses"] == 1
+
+    def test_disk_cache_survives_engines(self, tmp_path):
+        spec = AnalysisSpec(network="gnmt", scale=SCALE)
+        first = AnalysisEngine(cache=TraceCache(tmp_path))
+        result_a = first.run(spec)
+        assert first.cache.stats()["misses"] == 1
+
+        second = AnalysisEngine(cache=TraceCache(tmp_path))
+        result_b = second.run(spec)
+        assert second.cache.stats()["misses"] == 0
+        assert result_b.to_dict() == result_a.to_dict()
+
+    def test_engines_share_nothing_by_default(self):
+        a, b = AnalysisEngine(), AnalysisEngine()
+        spec = AnalysisSpec(network="gnmt", scale=SCALE)
+        a.run(spec)
+        b.run(spec)
+        assert a.cache.stats()["misses"] == 1
+        assert b.cache.stats()["misses"] == 1
+
+
+class TestRunMany:
+    def test_results_in_input_order(self):
+        engine = AnalysisEngine()
+        methods = ("worst", "seqpoint", "median", "frequent")
+        specs = [
+            AnalysisSpec(network="gnmt", scale=SCALE, selector=method)
+            for method in methods
+        ]
+        results = engine.run_many(specs)
+        assert tuple(result.method for result in results) == methods
+
+    def test_shared_work_deduplicated(self):
+        engine = AnalysisEngine()
+        specs = [
+            AnalysisSpec(network="gnmt", scale=SCALE, selector=method)
+            for method in ("seqpoint", "frequent", "median", "prior")
+        ]
+        engine.run_many(specs, max_workers=4)
+        # One scenario: exactly one simulated identification epoch.
+        assert engine.cache.stats()["misses"] == 1
+
+    def test_empty_batch(self):
+        assert AnalysisEngine().run_many([]) == []
+
+    def test_matches_sequential_runs(self):
+        engine = AnalysisEngine()
+        specs = [
+            AnalysisSpec(network="gnmt", scale=SCALE),
+            AnalysisSpec(network="gnmt", scale=SCALE, selector="median"),
+        ]
+        batched = engine.run_many(specs)
+        sequential = [engine.run(spec) for spec in specs]
+        for many, one in zip(batched, sequential):
+            assert many.to_dict() == one.to_dict()

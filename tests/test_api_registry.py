@@ -1,0 +1,127 @@
+"""Unit tests for the string-keyed component registries."""
+
+import pytest
+
+from repro.api.registry import (
+    BATCHING,
+    DATASETS,
+    MODELS,
+    SELECTORS,
+    Registry,
+    build_batching,
+    dataset_pad_multiple,
+    default_batching,
+    default_dataset,
+)
+from repro.core.seqpoint import SeqPointSelector
+from repro.data.batching import PooledBucketing, SortaGradBatching
+from repro.errors import ConfigurationError
+from repro.models.spec import Model
+
+
+class TestRegistry:
+    def test_register_returns_factory(self):
+        registry = Registry("widget")
+
+        @registry.register("a")
+        def make_a():
+            return "a!"
+
+        assert make_a() == "a!"
+        assert registry.create("a") == "a!"
+
+    def test_available_is_sorted(self):
+        registry = Registry("widget")
+        registry.register("zeta")(lambda: None)
+        registry.register("alpha")(lambda: None)
+        assert registry.available() == ("alpha", "zeta")
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry("widget")
+        registry.register("a")(lambda: None)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("a")(lambda: None)
+
+    def test_unknown_name_lists_available(self):
+        registry = Registry("widget")
+        registry.register("alpha")(lambda: None)
+        registry.register("beta")(lambda: None)
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.get("gamma")
+        message = str(excinfo.value)
+        assert "widget" in message
+        assert "'gamma'" in message
+        assert "alpha" in message and "beta" in message
+
+    def test_contains_and_len(self):
+        registry = Registry("widget")
+        registry.register("a")(lambda: None)
+        assert "a" in registry
+        assert "b" not in registry
+        assert len(registry) == 1
+
+
+class TestBuiltinEntries:
+    def test_models(self):
+        assert MODELS.available() == (
+            "cnn", "convs2s", "ds2", "gnmt", "transformer"
+        )
+        assert isinstance(MODELS.create("gnmt"), Model)
+
+    def test_datasets(self):
+        assert DATASETS.available() == ("iwslt", "librispeech")
+        corpus = DATASETS.create("iwslt", scale=0.01)
+        # Tiny scales floor at a few batches' worth of samples.
+        assert len(corpus) == 1330
+
+    def test_dataset_scale_floor(self):
+        assert len(DATASETS.create("iwslt", scale=0.0001)) == 256
+
+    def test_batching(self):
+        assert BATCHING.available() == (
+            "pooled", "shuffled", "sortagrad", "sorted"
+        )
+        policy = BATCHING.create("pooled", 32, pad_multiple=2)
+        assert isinstance(policy, PooledBucketing)
+        assert policy.batch_size == 32
+        assert policy.pad_multiple == 2
+
+    def test_selectors(self):
+        assert SELECTORS.available() == (
+            "frequent", "kmeans", "median", "prior", "seqpoint", "worst"
+        )
+        selector = SELECTORS.create("seqpoint", error_threshold_pct=0.5)
+        assert isinstance(selector, SeqPointSelector)
+        assert selector.error_threshold_pct == 0.5
+
+    def test_kmeans_has_default_k(self):
+        assert SELECTORS.create("kmeans").k == 5
+
+
+class TestDefaults:
+    def test_paper_pairings(self):
+        assert default_dataset("gnmt") == "iwslt"
+        assert default_batching("gnmt") == "pooled"
+        assert default_dataset("ds2") == "librispeech"
+        assert default_batching("ds2") == "sortagrad"
+
+    def test_every_model_has_defaults(self):
+        for network in MODELS.available():
+            assert default_dataset(network) in DATASETS
+            assert default_batching(network) in BATCHING
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigurationError, match="model"):
+            default_dataset("bert")
+
+    def test_pad_multiple(self):
+        assert dataset_pad_multiple("iwslt") == 1
+        assert dataset_pad_multiple("librispeech") == 4
+        with pytest.raises(ConfigurationError):
+            dataset_pad_multiple("wmt")
+
+    def test_build_batching_honours_dataset_padding(self):
+        policy = build_batching("sortagrad", 64, dataset="librispeech")
+        assert isinstance(policy, SortaGradBatching)
+        assert policy.pad_multiple == 4
+        assert build_batching("pooled", 64, dataset="iwslt").pad_multiple == 1

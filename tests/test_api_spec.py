@@ -1,0 +1,166 @@
+"""Unit tests for declarative analysis specs."""
+
+import json
+
+import pytest
+
+from repro.api.spec import AnalysisSpec, ProjectionSpec
+from repro.core.seqpoint import SeqPointSelector
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_gnmt_paper_setup(self):
+        spec = AnalysisSpec(network="gnmt")
+        assert spec.dataset == "iwslt"
+        assert spec.batching == "pooled"
+        assert spec.batch_size == 64
+        assert spec.config == 1
+        assert spec.selector == "seqpoint"
+
+    def test_ds2_paper_setup(self):
+        spec = AnalysisSpec(network="ds2")
+        assert spec.dataset == "librispeech"
+        assert spec.batching == "sortagrad"
+
+    def test_explicit_names_win(self):
+        spec = AnalysisSpec(network="gnmt", dataset="librispeech",
+                            batching="shuffled")
+        assert spec.dataset == "librispeech"
+        assert spec.batching == "shuffled"
+
+
+class TestValidation:
+    def test_unknown_network(self):
+        with pytest.raises(ConfigurationError, match="model 'bert'"):
+            AnalysisSpec(network="bert")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError, match="dataset"):
+            AnalysisSpec(network="gnmt", dataset="wmt")
+
+    def test_unknown_batching(self):
+        with pytest.raises(ConfigurationError, match="batching"):
+            AnalysisSpec(network="gnmt", batching="bucketed")
+
+    def test_unknown_selector(self):
+        with pytest.raises(ConfigurationError, match="selector"):
+            AnalysisSpec(network="gnmt", selector="simpoint")
+
+    def test_bad_scale(self):
+        for scale in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError, match="scale"):
+                AnalysisSpec(network="gnmt", scale=scale)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError, match="1-5"):
+            AnalysisSpec(network="gnmt", config=9)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            AnalysisSpec(network="gnmt", batch_size=0)
+
+    def test_selector_kwargs_rejected_early(self):
+        # Unknown keyword: caught at spec construction, not at run time.
+        with pytest.raises(ConfigurationError, match="rejected kwargs"):
+            AnalysisSpec(network="gnmt",
+                         selector_kwargs={"not_a_kwarg": 1})
+        # Known keyword, invalid value: same early failure.
+        with pytest.raises(ConfigurationError, match="rejected kwargs"):
+            AnalysisSpec(network="gnmt",
+                         selector_kwargs={"error_threshold_pct": -1.0})
+
+    def test_selector_kwargs_must_be_mapping(self):
+        with pytest.raises(ConfigurationError, match="selector_kwargs"):
+            AnalysisSpec(network="gnmt", selector_kwargs=42)
+
+
+class TestSelectorKwargs:
+    def test_normalised_and_hashable(self):
+        spec = AnalysisSpec(
+            network="gnmt",
+            selector_kwargs={"initial_bins": 3, "error_threshold_pct": 2.0},
+        )
+        assert spec.selector_kwargs == (
+            ("error_threshold_pct", 2.0), ("initial_bins", 3),
+        )
+        assert spec.selector_options == {
+            "error_threshold_pct": 2.0, "initial_bins": 3,
+        }
+        hash(spec)  # specs are usable as dict keys
+
+    def test_build_selector(self):
+        spec = AnalysisSpec(network="gnmt",
+                            selector_kwargs={"initial_bins": 7})
+        selector = spec.build_selector()
+        assert isinstance(selector, SeqPointSelector)
+        assert selector.initial_bins == 7
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = AnalysisSpec(network="ds2", config=3, scale=0.25, seed=4,
+                            selector="kmeans", selector_kwargs={"k": 7})
+        assert AnalysisSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = AnalysisSpec(network="gnmt",
+                            selector_kwargs={"error_threshold_pct": 0.5})
+        restored = AnalysisSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_minimal_payload(self):
+        spec = AnalysisSpec.from_dict({"network": "gnmt"})
+        assert spec == AnalysisSpec(network="gnmt")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown AnalysisSpec"):
+            AnalysisSpec.from_dict({"network": "gnmt", "batchsize": 32})
+
+
+class TestFingerprint:
+    def test_selector_excluded(self):
+        base = AnalysisSpec(network="gnmt", scale=0.1)
+        swept = AnalysisSpec(network="gnmt", scale=0.1, selector="median")
+        assert base.trace_fingerprint() == swept.trace_fingerprint()
+
+    def test_simulation_fields_included(self):
+        base = AnalysisSpec(network="gnmt", scale=0.1)
+        for other in (
+            AnalysisSpec(network="ds2", scale=0.1),
+            AnalysisSpec(network="gnmt", scale=0.2),
+            AnalysisSpec(network="gnmt", scale=0.1, config=2),
+            AnalysisSpec(network="gnmt", scale=0.1, seed=1),
+            AnalysisSpec(network="gnmt", scale=0.1, batch_size=32),
+            AnalysisSpec(network="gnmt", scale=0.1, batching="sorted"),
+        ):
+            assert base.trace_fingerprint() != other.trace_fingerprint()
+
+    def test_json_serialisable(self):
+        json.dumps(AnalysisSpec(network="gnmt").trace_fingerprint())
+
+
+class TestProjectionSpec:
+    def test_defaults_to_all_configs(self):
+        assert ProjectionSpec().targets == (1, 2, 3, 4, 5)
+
+    def test_accepts_lists(self):
+        assert ProjectionSpec(targets=[3, 1]).targets == (3, 1)
+
+    def test_round_trip(self):
+        spec = ProjectionSpec(targets=(2, 4))
+        assert ProjectionSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError, match="1-5"):
+            ProjectionSpec(targets=(1, 6))
+
+    def test_empty_targets(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            ProjectionSpec(targets=())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown ProjectionSpec"):
+            ProjectionSpec.from_dict({"configs": [1]})

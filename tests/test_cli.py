@@ -1,8 +1,20 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        assert f"repro {__version__}" in capsys.readouterr().out
 
 
 class TestConfigs:
@@ -28,6 +40,123 @@ class TestIdentify:
     def test_rejects_unknown_network(self):
         with pytest.raises(SystemExit):
             main(["identify", "--network", "bert"])
+
+    def test_json_format(self, capsys):
+        assert main(
+            ["identify", "--network", "ds2", "--scale", "0.01",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "ds2"
+        assert payload["k"] >= 0
+        assert payload["seqpoints"]
+        for point in payload["seqpoints"]:
+            assert {"seq_len", "weight", "time_s"} <= set(point)
+
+
+class TestAnalyze:
+    def test_json_output(self, capsys):
+        assert main(
+            ["analyze", "--network", "gnmt", "--scale", "0.01",
+             "--targets", "1,3", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "seqpoint"
+        assert payload["spec"]["dataset"] == "iwslt"
+        assert [p["config"] for p in payload["projections"]] == [1, 3]
+        for projection in payload["projections"]:
+            assert {"projected_time_s", "actual_time_s", "error_pct",
+                    "projected_uplift_pct"} <= set(projection)
+
+    def test_table_output(self, capsys):
+        assert main(
+            ["analyze", "--network", "gnmt", "--scale", "0.01"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "selected points" in out
+        assert "projections" in out
+        assert "config#1" in out
+
+    def test_spec_file_matches_inline(self, tmp_path, capsys):
+        assert main(
+            ["analyze", "--network", "gnmt", "--scale", "0.01",
+             "--targets", "1,3", "--format", "json"]
+        ) == 0
+        inline = json.loads(capsys.readouterr().out)
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(inline["spec"]), encoding="utf-8")
+        assert main(
+            ["analyze", "--spec", str(spec_file), "--targets", "1,3",
+             "--format", "json"]
+        ) == 0
+        from_file = json.loads(capsys.readouterr().out)
+        assert from_file == inline
+
+    def test_selector_args(self, capsys):
+        assert main(
+            ["analyze", "--network", "gnmt", "--scale", "0.01",
+             "--selector", "kmeans", "--selector-arg", "k=3",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "kmeans"
+        assert payload["spec"]["selector_kwargs"] == {"k": 3}
+        assert len(payload["points"]) <= 3
+
+    def test_spec_and_inline_conflict(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text('{"network": "gnmt"}', encoding="utf-8")
+        assert main(
+            ["analyze", "--spec", str(spec_file), "--network", "gnmt"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_missing_network(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "--network" in capsys.readouterr().err
+
+    def test_bad_selector_arg(self, capsys):
+        assert main(
+            ["analyze", "--network", "gnmt", "--selector-arg", "oops"]
+        ) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_bad_spec_payload(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text('{"network": "gnmt", "nope": 1}', encoding="utf-8")
+        assert main(["analyze", "--spec", str(spec_file)]) == 2
+        assert "unknown AnalysisSpec" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["analyze", "--spec", "/does/not/exist.json"]) == 2
+        assert "analyze:" in capsys.readouterr().err
+
+    def test_matches_library_api(self, capsys):
+        """CLI and programmatic engine produce identical numbers."""
+        from repro.api import AnalysisEngine, AnalysisSpec, ProjectionSpec
+
+        payload = json.dumps({"network": "gnmt", "scale": 0.01})
+        spec = AnalysisSpec.from_dict(json.loads(payload))
+        expected = AnalysisEngine().run(spec, ProjectionSpec(targets=(1, 3)))
+
+        assert main(
+            ["analyze", "--network", "gnmt", "--scale", "0.01",
+             "--targets", "1,3", "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(
+            json.dumps(expected.to_dict())
+        )
+
+    def test_cache_dir(self, tmp_path, capsys):
+        args = ["analyze", "--network", "gnmt", "--scale", "0.01",
+                "--cache-dir", str(tmp_path), "--format", "json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        cached = list(tmp_path.glob("*.json"))
+        assert len(cached) == 1
+        assert main(args) == 0  # second run reuses the on-disk trace
+        assert json.loads(capsys.readouterr().out) == first
 
 
 class TestExperiments:
