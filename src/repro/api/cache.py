@@ -9,6 +9,13 @@ requests that would simulate the same epoch share one trace — within a
 process through the in-memory map, and across processes through an
 optional on-disk store of the trace's JSON artefact.
 
+Cached traces are frame-backed views: in memory they carry their
+columnar :class:`~repro.train.frame.TraceFrame` (shared by every
+analysis that hits the entry, including the memoised per-SL grouping),
+and on disk they persist as the compact columnar
+``repro.training-trace.v2`` schema.  Cache directories written before
+the columnar refactor (v1 artefacts) load transparently.
+
 Hit/miss counters make the reuse measurable (see
 ``benchmarks/bench_api_cache.py``); per-key locks make concurrent
 ``get_or_compute`` calls for the same key simulate once, which is what

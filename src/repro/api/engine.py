@@ -23,12 +23,12 @@ from threading import Lock
 from typing import Any
 
 from repro.api.cache import TraceCache
-from repro.api.registry import DATASETS, MODELS, SELECTORS, build_batching
+from repro.api.registry import DATASETS, MODELS, build_batching
 from repro.api.spec import AnalysisSpec, ProjectionSpec
 from repro.core.projection import (
     project_epoch_time,
+    project_logged_time,
     project_throughput,
-    project_total,
     uplift_pct,
 )
 from repro.core.selection import Selection
@@ -38,6 +38,7 @@ from repro.data.dataset import SequenceDataset
 from repro.hw.config import paper_config
 from repro.hw.device import GpuDevice
 from repro.models.spec import Model
+from repro.train.frame import TraceFrame
 from repro.train.runner import TrainingRunSimulator
 from repro.train.trace import TrainingTrace
 from repro.util.stats import percent_error
@@ -239,19 +240,32 @@ class AnalysisEngine:
         return TraceCache.key_for(fingerprint)
 
     def trace_for(self, spec: AnalysisSpec) -> TrainingTrace:
-        """The spec's simulated identification epoch, through the cache."""
+        """The spec's simulated identification epoch, through the cache.
+
+        The returned trace is a thin view over a columnar
+        :class:`TraceFrame`; no per-iteration records are materialised
+        unless a caller explicitly touches ``.records``.
+        """
         return self.cache.get_or_compute(
             self.trace_key(spec),
             lambda: self.runner_for(spec).run_epoch(include_eval=True),
         )
+
+    def frame_for(self, spec: AnalysisSpec) -> TraceFrame:
+        """The identification epoch's columnar frame (cached)."""
+        return self.trace_for(spec).frame()
 
     # -- execution ----------------------------------------------------
 
     def _select(
         self, spec: AnalysisSpec, trace: TrainingTrace
     ) -> tuple[Selection, int | None, float, float]:
-        """Apply the spec's selector; uniform numbers for any method."""
-        outcome = spec.build_selector().select(trace)
+        """Apply the spec's selector; uniform numbers for any method.
+
+        Selectors receive the columnar frame, so a sweep of selectors
+        over one scenario shares a single vectorized per-SL grouping.
+        """
+        outcome = spec.build_selector().select(trace.frame())
         if isinstance(outcome, SeqPointResult):
             return (
                 outcome.selection,
@@ -259,7 +273,7 @@ class AnalysisEngine:
                 outcome.identification_error_pct,
                 outcome.projected_total_s,
             )
-        projected = project_total(outcome, lambda point: point.record.time_s)
+        projected = project_logged_time(outcome)
         error = percent_error(projected, trace.total_time_s)
         return outcome, None, error, projected
 

@@ -19,6 +19,7 @@ from repro.core.kmeans import KMeansSelector
 from repro.core.projection import (
     project_average,
     project_epoch_time,
+    project_logged_time,
     project_throughput,
     project_total,
     project_uplift_pct,
@@ -38,6 +39,7 @@ __all__ = [
     "KMeansSelector",
     "project_average",
     "project_epoch_time",
+    "project_logged_time",
     "project_throughput",
     "project_total",
     "project_uplift_pct",

@@ -11,15 +11,22 @@ The paper compares SeqPoint against four alternatives:
   window of contiguous iterations after a fixed warmup, and scale the
   window's mean iteration time by the epoch's iteration count.
 
-All return :class:`~repro.core.selection.Selection`, so every
-projection utility applies uniformly.
+All selectors operate on the trace's columnar frame (and accept either
+a :class:`TrainingTrace` or a :class:`TraceFrame` directly), so the
+per-iteration work is vectorized and records materialise only for the
+handful of selected points.  All return
+:class:`~repro.core.selection.Selection`, so every projection utility
+applies uniformly.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.selection import SelectedPoint, Selection
 from repro.core.sl_stats import SlStatistics
 from repro.errors import SelectionError
+from repro.train.frame import TraceFrame, as_frame
 from repro.train.trace import TrainingTrace
 
 __all__ = [
@@ -46,9 +53,9 @@ class FrequentSelector:
 
     METHOD = "frequent"
 
-    def select(self, trace: TrainingTrace) -> Selection:
+    def select(self, trace: TrainingTrace | TraceFrame) -> Selection:
         statistics = SlStatistics.from_trace(trace)
-        best = max(statistics, key=lambda stat: stat.iterations)
+        best = statistics.stats[int(np.argmax(statistics.iterations_column))]
         return _single_point(self.METHOD, statistics, best.seq_len)
 
 
@@ -57,10 +64,11 @@ class MedianSelector:
 
     METHOD = "median"
 
-    def select(self, trace: TrainingTrace) -> Selection:
-        statistics = SlStatistics.from_trace(trace)
-        ordered = sorted(record.seq_len for record in trace.records)
-        median_sl = ordered[len(ordered) // 2]
+    def select(self, trace: TrainingTrace | TraceFrame) -> Selection:
+        frame = as_frame(trace)
+        statistics = SlStatistics.from_trace(frame)
+        ordered = np.sort(frame.seq_len)
+        median_sl = int(ordered[ordered.size // 2])
         return _single_point(self.METHOD, statistics, median_sl)
 
 
@@ -73,17 +81,20 @@ class WorstSelector:
 
     METHOD = "worst"
 
-    def select(self, trace: TrainingTrace) -> Selection:
+    def select(self, trace: TrainingTrace | TraceFrame) -> Selection:
         statistics = SlStatistics.from_trace(trace)
         actual = statistics.total_time_s
         total_iterations = statistics.total_iterations
 
-        def error_of(stat) -> float:
-            # Projection error of re-running this SL's representative
-            # iteration and scaling by the epoch's iteration count.
-            return abs(stat.representative.time_s * total_iterations - actual)
-
-        worst = max(statistics, key=error_of)
+        # Projection error of re-running each SL's representative
+        # iteration and scaling by the epoch's iteration count.
+        representative_times = np.fromiter(
+            (stat.representative.time_s for stat in statistics),
+            np.float64,
+            len(statistics),
+        )
+        errors = np.abs(representative_times * total_iterations - actual)
+        worst = statistics.stats[int(np.argmax(errors))]
         return _single_point(self.METHOD, statistics, worst.seq_len)
 
 
@@ -105,21 +116,23 @@ class PriorSelector:
         self.warmup = warmup
         self.window = window
 
-    def select(self, trace: TrainingTrace) -> Selection:
-        records = trace.records
-        if not records:
+    def select(self, trace: TrainingTrace | TraceFrame) -> Selection:
+        frame = as_frame(trace)
+        total = len(frame)
+        if total == 0:
             raise SelectionError("prior: empty trace")
-        start = min(self.warmup, max(0, len(records) - self.window))
-        picked = records[start:start + self.window]
-        if not picked:
+        start = min(self.warmup, max(0, total - self.window))
+        stop = min(start + self.window, total)
+        if stop <= start:
             raise SelectionError(
-                f"prior: trace has {len(records)} iterations, none left "
+                f"prior: trace has {total} iterations, none left "
                 f"after warmup {self.warmup}"
             )
-        weight = len(records) / len(picked)
+        weight = total / (stop - start)
         points = tuple(
-            SelectedPoint(record=record, weight=weight) for record in picked
+            SelectedPoint(record=frame.record(index), weight=weight)
+            for index in range(start, stop)
         )
         return Selection(
-            method=self.METHOD, points=points, profiled_iterations=len(picked)
+            method=self.METHOD, points=points, profiled_iterations=stop - start
         )

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SelectionError
 from repro.core.sl_stats import SlStat, SlStatistics
 
@@ -60,9 +62,13 @@ def bin_stats(statistics: SlStatistics, k: int) -> list[Bin]:
         return [Bin(lo=float(lo), hi=float(hi), stats=tuple(statistics))]
 
     width = (hi - lo) / k
+    # Vectorized bucket assignment over the per-SL column; the float
+    # arithmetic matches the scalar `int((sl - lo) / width)` exactly.
+    indices = np.minimum(
+        ((statistics.seq_lens_column - lo) / width).astype(np.int64), k - 1
+    )
     buckets: list[list[SlStat]] = [[] for _ in range(k)]
-    for stat in statistics:
-        index = min(int((stat.seq_len - lo) / width), k - 1)
+    for stat, index in zip(statistics, indices):
         buckets[index].append(stat)
 
     bins = []

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.selection import SelectedPoint, Selection
 from repro.core.sl_stats import SlStat, SlStatistics
 from repro.errors import SelectionError
+from repro.train.frame import TraceFrame
 from repro.train.trace import TrainingTrace
 from repro.util.rng import make_rng
 
@@ -87,7 +88,7 @@ class KMeansSelector:
         self.k = k
         self.seed = seed
 
-    def select(self, trace: TrainingTrace) -> Selection:
+    def select(self, trace: TrainingTrace | TraceFrame) -> Selection:
         statistics = SlStatistics.from_trace(trace)
         stats = list(statistics)
         k = min(self.k, len(stats))

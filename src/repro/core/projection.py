@@ -15,14 +15,16 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.core.selection import SelectedPoint, Selection
 from repro.errors import ProjectionError
 from repro.train.runner import TrainingRunSimulator
-from repro.util.stats import weighted_average, weighted_sum
 
 __all__ = [
     "project_total",
     "project_average",
+    "project_logged_time",
     "project_epoch_time",
     "project_throughput",
     "uplift_pct",
@@ -32,18 +34,35 @@ __all__ = [
 PointStat = Callable[[SelectedPoint], float]
 
 
+def _stat_column(selection: Selection, stat: PointStat) -> np.ndarray:
+    """Evaluate ``stat`` per point into one float column."""
+    return np.fromiter(
+        (stat(point) for point in selection.points),
+        np.float64,
+        len(selection.points),
+    )
+
+
 def project_total(selection: Selection, stat: PointStat) -> float:
     """Weighted sum of ``stat`` over the selection (extensive stats)."""
-    values = [stat(point) for point in selection.points]
-    weights = [point.weight for point in selection.points]
-    return weighted_sum(values, weights)
+    return float(_stat_column(selection, stat) @ selection.weights_column)
+
+
+def project_logged_time(selection: Selection) -> float:
+    """Equation 1 on the *logged* runtimes (the identification check).
+
+    Pure column arithmetic on the selection's cached weight/time
+    columns — the hot projection of the SeqPoint ``k``-growing loop.
+    """
+    return float(selection.times_column @ selection.weights_column)
 
 
 def project_average(selection: Selection, stat: PointStat) -> float:
     """Weight-normalised projection (ratio stats such as IPC)."""
-    values = [stat(point) for point in selection.points]
-    weights = [point.weight for point in selection.points]
-    return weighted_average(values, weights)
+    total_weight = float(selection.weights_column.sum())
+    if total_weight <= 0.0:
+        raise ProjectionError("weights must sum to a positive value")
+    return project_total(selection, stat) / total_weight
 
 
 def _measure_on(point: SelectedPoint, runner: TrainingRunSimulator) -> float:

@@ -10,6 +10,9 @@ structure of the paper's Figs 11/12/15/16.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 from repro.core.binning import Bin
 from repro.errors import SelectionError
@@ -69,6 +72,24 @@ class Selection:
     def __len__(self) -> int:
         return len(self.points)
 
+    @cached_property
+    def weights_column(self) -> np.ndarray:
+        """Point weights as one float column (Equation 1's w vector)."""
+        return np.fromiter(
+            (point.weight for point in self.points),
+            np.float64,
+            len(self.points),
+        )
+
+    @cached_property
+    def times_column(self) -> np.ndarray:
+        """Representative runtimes as one float column."""
+        return np.fromiter(
+            (point.record.time_s for point in self.points),
+            np.float64,
+            len(self.points),
+        )
+
     @property
     def total_weight(self) -> float:
         return sum(point.weight for point in self.points)
@@ -106,21 +127,33 @@ def select_from_bin(bin_: Bin, strategy: str = "closest-mean") -> SelectedPoint:
     weight = float(bin_.iterations)
     if strategy == "closest-mean":
         target = bin_.mean_time_s
-        best = min(bin_.stats, key=lambda stat: abs(stat.mean_time_s - target))
-    elif strategy == "median-sl":
-        half = bin_.iterations / 2.0
-        seen = 0.0
-        best = bin_.stats[-1]
-        for stat in bin_.stats:
-            seen += stat.iterations
-            if seen >= half:
-                best = stat
-                break
-    elif strategy == "centroid-sl":
-        centroid = (
-            sum(stat.seq_len * stat.iterations for stat in bin_.stats) / weight
+        mean_times = np.fromiter(
+            (stat.mean_time_s for stat in bin_.stats),
+            np.float64,
+            len(bin_.stats),
         )
-        best = min(bin_.stats, key=lambda stat: abs(stat.seq_len - centroid))
+        best = bin_.stats[int(np.argmin(np.abs(mean_times - target)))]
+    elif strategy == "median-sl":
+        iterations = np.fromiter(
+            (stat.iterations for stat in bin_.stats),
+            np.float64,
+            len(bin_.stats),
+        )
+        at_least_half = np.cumsum(iterations) >= bin_.iterations / 2.0
+        best = bin_.stats[int(np.argmax(at_least_half))]
+    elif strategy == "centroid-sl":
+        seq_lens = np.fromiter(
+            (stat.seq_len for stat in bin_.stats),
+            np.float64,
+            len(bin_.stats),
+        )
+        iterations = np.fromiter(
+            (stat.iterations for stat in bin_.stats),
+            np.float64,
+            len(bin_.stats),
+        )
+        centroid = float(seq_lens @ iterations) / weight
+        best = bin_.stats[int(np.argmin(np.abs(seq_lens - centroid)))]
     else:
         raise SelectionError(
             f"unknown representative strategy {strategy!r}; expected "

@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.binning import bin_stats
-from repro.core.projection import project_total
+from repro.core.projection import project_logged_time
 from repro.core.selection import SelectedPoint, Selection, select_from_bin
 from repro.core.sl_stats import SlStatistics
 from repro.errors import SelectionError
+from repro.train.frame import TraceFrame
 from repro.train.trace import TrainingTrace
 from repro.util.stats import percent_error
 
@@ -84,11 +85,16 @@ class SeqPointSelector:
     def _evaluate(
         self, selection: Selection, actual_total_s: float
     ) -> tuple[float, float]:
-        projected = project_total(selection, lambda point: point.record.time_s)
+        projected = project_logged_time(selection)
         return projected, percent_error(projected, actual_total_s)
 
-    def select(self, trace: TrainingTrace) -> SeqPointResult:
-        """Run the full identification loop on ``trace``."""
+    def select(self, trace: TrainingTrace | TraceFrame) -> SeqPointResult:
+        """Run the full identification loop on ``trace``.
+
+        Accepts a row-oriented trace or its columnar frame directly;
+        the per-SL grouping is computed once per frame and shared with
+        any other selector run on the same trace.
+        """
         statistics = SlStatistics.from_trace(trace)
         actual = statistics.total_time_s
 

@@ -59,6 +59,10 @@ class BatchingPolicy(ABC):
         multiple = self.pad_multiple
         return ((length + multiple - 1) // multiple) * multiple
 
+    def _pad_column(self, lengths: np.ndarray) -> np.ndarray:
+        multiple = self.pad_multiple
+        return ((lengths + multiple - 1) // multiple) * multiple
+
     @abstractmethod
     def _sample_order(
         self, dataset: SequenceDataset, epoch: int, seed: int
@@ -80,11 +84,7 @@ class BatchingPolicy(ABC):
         """
         order = self._sample_order(dataset, epoch, seed)
         lengths = dataset.lengths[order]
-        targets = None
-        if dataset.has_targets:
-            targets = np.array(
-                [dataset.samples[i].tgt_length for i in order], dtype=np.int64
-            )
+        targets = dataset.tgt_lengths[order] if dataset.has_targets else None
 
         iterations: list[IterationInputs] = []
         for lo in range(0, len(order), self.batch_size):
@@ -101,6 +101,35 @@ class BatchingPolicy(ABC):
                 IterationInputs(batch=hi - lo, seq_len=seq_len, tgt_len=tgt_len)
             )
         return iterations
+
+    def plan_epoch_columns(
+        self, dataset: SequenceDataset, epoch: int = 0, seed: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized epoch plan: ``(seq_len, tgt_len)`` int64 columns.
+
+        The columnar twin of :meth:`plan_epoch` for the training path
+        (full batches only, ragged tail dropped): batch ``b`` covers the
+        same samples, so the padded maxima are identical integers —
+        guaranteed by a test.  ``tgt_len`` is ``-1`` where the dataset
+        has no target side.  All batches have exactly ``batch_size``
+        samples, so no batch column is needed.
+        """
+        order = self._sample_order(dataset, epoch, seed)
+        n_full = len(order) // self.batch_size
+        order = order[: n_full * self.batch_size]
+        if n_full == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        grouped = dataset.lengths[order].reshape(n_full, self.batch_size)
+        seq_len = self._pad_column(grouped.max(axis=1))
+        if dataset.has_targets:
+            grouped_tgt = dataset.tgt_lengths[order].reshape(
+                n_full, self.batch_size
+            )
+            tgt_len = self._pad_column(grouped_tgt.max(axis=1))
+        else:
+            tgt_len = np.full(n_full, -1, dtype=np.int64)
+        return seq_len, tgt_len
 
 
 class ShuffledBatching(BatchingPolicy):

@@ -9,6 +9,7 @@ paper's Key Observation 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -52,9 +53,23 @@ class SequenceDataset:
     def __len__(self) -> int:
         return len(self.samples)
 
-    @property
+    @cached_property
     def lengths(self) -> np.ndarray:
-        return np.array([sample.length for sample in self.samples], dtype=np.int64)
+        """Source-side lengths as one immutable int64 column."""
+        array = np.array(
+            [sample.length for sample in self.samples], dtype=np.int64
+        )
+        array.setflags(write=False)
+        return array
+
+    @cached_property
+    def tgt_lengths(self) -> np.ndarray:
+        """Target-side lengths column (only meaningful for seq2seq)."""
+        array = np.array(
+            [sample.tgt_length for sample in self.samples], dtype=np.int64
+        )
+        array.setflags(write=False)
+        return array
 
     @property
     def has_targets(self) -> bool:

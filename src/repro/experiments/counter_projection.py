@@ -22,13 +22,11 @@ _COUNTERS = ("valu_insts", "dram_read_bytes", "dram_write_bytes")
 
 def counter_errors(network: str, scale: float = 1.0) -> dict[str, float]:
     """Counter name -> projection error % on the identification config."""
-    trace = epoch_trace(network, 1, scale)
+    frame = epoch_trace(network, 1, scale).frame()
     selection = seqpoint_result(network, scale).selection
     errors: dict[str, float] = {}
     for counter in _COUNTERS:
-        actual = sum(
-            getattr(record.counters, counter) for record in trace.records
-        )
+        actual = float(frame.counter_column(counter).sum())
         projected = project_total(
             selection, lambda point: getattr(point.record.counters, counter)
         )

@@ -43,8 +43,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
     cnn_trace = cnn_runner.run_epoch(include_eval=False)
 
     count = min(_ITERATIONS, len(gnmt_trace), len(cnn_trace))
-    gnmt_times = [r.time_s for r in gnmt_trace.records[:count]]
-    cnn_times = [r.time_s for r in cnn_trace.records[:count]]
+    gnmt_times = gnmt_trace.frame().time_s[:count].tolist()
+    cnn_times = cnn_trace.frame().time_s[:count].tolist()
     gnmt_mean = sum(gnmt_times) / count
     cnn_mean = sum(cnn_times) / count
 

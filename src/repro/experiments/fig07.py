@@ -8,6 +8,8 @@ relative to the epoch.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.experiments.base import ExperimentResult
 from repro.experiments.setups import epoch_trace
 
@@ -30,10 +32,9 @@ def run(scale: float = 1.0) -> ExperimentResult:
         histogram = trace.iteration_histogram()
         lo, hi = min(histogram), max(histogram)
         width = max(1, (hi - lo + 1) // _DISPLAY_BINS)
-        display: dict[int, int] = {}
+        display = Counter()
         for seq_len, count in histogram.items():
-            bucket = lo + ((seq_len - lo) // width) * width
-            display[bucket] = display.get(bucket, 0) + count
+            display[lo + ((seq_len - lo) // width) * width] += count
         for bucket in sorted(display):
             rows.append(
                 [network, f"{bucket}-{bucket + width - 1}", display[bucket]]

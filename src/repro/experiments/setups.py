@@ -29,7 +29,16 @@ from repro.models.spec import Model
 from repro.train.runner import TrainingRunSimulator
 from repro.train.trace import TrainingTrace
 
-__all__ = ["Scenario", "scenario", "runner", "epoch_trace", "NETWORKS", "BATCH_SIZE"]
+__all__ = [
+    "Scenario",
+    "scenario",
+    "runner",
+    "epoch_trace",
+    "NETWORKS",
+    "BATCH_SIZE",
+    "EVAL_FRACTION",
+    "NOISE_SIGMA",
+]
 
 #: The two networks the paper evaluates end to end.
 NETWORKS = ("gnmt", "ds2")

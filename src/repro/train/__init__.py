@@ -1,13 +1,19 @@
 """Training-run simulation: epochs of iterations on a simulated GPU."""
 
+from repro.train.frame import IterationProfile, TraceFrame, as_frame
+from repro.train.inference import InferenceRunSimulator
 from repro.train.iteration import IterationExecutor, IterationResult
 from repro.train.runner import TrainingRunSimulator
 from repro.train.trace import IterationRecord, TrainingTrace
 
 __all__ = [
     "IterationExecutor",
+    "IterationProfile",
     "IterationResult",
+    "InferenceRunSimulator",
+    "TraceFrame",
     "TrainingRunSimulator",
     "IterationRecord",
     "TrainingTrace",
+    "as_frame",
 ]

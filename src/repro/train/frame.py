@@ -1,0 +1,559 @@
+"""Columnar trace core: the canonical in-memory form of a trace.
+
+SeqPoint's own premise (Key Observation 4) is that an epoch is dominated
+by a small set of unique ``(batch, seq_len, tgt_len)`` shapes whose
+iterations are bit-identical before measurement noise.  A
+:class:`TraceFrame` exploits that twice:
+
+* the *per-iteration* data that genuinely varies (index, epoch,
+  sequence lengths, noised runtime) lives in parallel numpy columns, so
+  every analysis (per-SL statistics, binning, histograms, projections)
+  is a vectorized column operation instead of an interpreted scan of
+  record objects;
+* the *shape-invariant* payload (launch count, hardware counters,
+  kernel-group times, kernel names) is stored once per unique shape in
+  an :class:`IterationProfile` pool, with an integer ``profile_id``
+  column mapping iterations onto it.
+
+:class:`~repro.train.trace.TrainingTrace` and
+:class:`~repro.train.trace.IterationRecord` remain as thin row-oriented
+views for API compatibility; they materialise from a frame on demand.
+
+Frames serialise to the compact columnar ``repro.training-trace.v2``
+schema; v1 row-oriented files load transparently.  Both round-trip
+bit-exactly (JSON uses shortest-round-trip float repr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.hw.counters import CounterSet
+from repro.util.serialize import dump_json, read_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.train.trace import IterationRecord, TrainingTrace
+
+__all__ = [
+    "IterationProfile",
+    "TraceFrame",
+    "as_frame",
+    "dedupe_shapes",
+    "SCHEMA_V1",
+    "SCHEMA_V2",
+]
+
+SCHEMA_V1 = "repro.training-trace.v1"
+SCHEMA_V2 = "repro.training-trace.v2"
+
+#: Sentinel in the ``tgt_len`` column for "no target side" (single-ended
+#: networks such as DS2).
+NO_TGT = -1
+
+_COUNTER_FIELDS = tuple(f.name for f in dataclass_fields(CounterSet))
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Shape-invariant payload shared by all iterations of one shape.
+
+    Everything here is fully determined by the iteration's padded input
+    shape (before run-to-run noise), which is why one profile can back
+    arbitrarily many iterations.
+    """
+
+    launches: int
+    counters: CounterSet
+    group_times: dict[str, float]
+    kernel_names: frozenset[str]
+
+    def dedup_key(self) -> tuple:
+        """Hashable identity used to pool equal profiles."""
+        return (
+            self.launches,
+            self.counters,
+            tuple(sorted(self.group_times.items())),
+            self.kernel_names,
+        )
+
+
+class TraceFrame:
+    """Numpy-backed columnar representation of a training trace.
+
+    Parallel columns (one entry per iteration): ``index``, ``epoch``,
+    ``seq_len``, ``tgt_len`` (``NO_TGT`` where absent), ``time_s``, and
+    ``profile_id`` into the :attr:`profiles` pool.  Per-counter and
+    per-kernel-group columns are derived lazily from the pool by fancy
+    indexing.  Frames are treated as immutable; derived results may be
+    memoised on them via :meth:`cached`.
+    """
+
+    __slots__ = (
+        "model_name",
+        "dataset_name",
+        "config_name",
+        "batch_size",
+        "autotune_s",
+        "eval_s",
+        "index",
+        "epoch",
+        "seq_len",
+        "tgt_len",
+        "time_s",
+        "profile_id",
+        "profiles",
+        "_source_records",
+        "_memo",
+    )
+
+    def __init__(
+        self,
+        model_name: str,
+        dataset_name: str,
+        config_name: str,
+        batch_size: int,
+        index: np.ndarray,
+        epoch: np.ndarray,
+        seq_len: np.ndarray,
+        tgt_len: np.ndarray,
+        time_s: np.ndarray,
+        profile_id: np.ndarray,
+        profiles: tuple[IterationProfile, ...],
+        autotune_s: float = 0.0,
+        eval_s: float = 0.0,
+        source_records: tuple | None = None,
+    ):
+        if batch_size <= 0:
+            raise TraceError("batch_size must be positive")
+        self.model_name = model_name
+        self.dataset_name = dataset_name
+        self.config_name = config_name
+        self.batch_size = batch_size
+        self.autotune_s = autotune_s
+        self.eval_s = eval_s
+        self.index = np.asarray(index, dtype=np.int64)
+        self.epoch = np.asarray(epoch, dtype=np.int64)
+        self.seq_len = np.asarray(seq_len, dtype=np.int64)
+        self.tgt_len = np.asarray(tgt_len, dtype=np.int64)
+        self.time_s = np.asarray(time_s, dtype=np.float64)
+        self.profile_id = np.asarray(profile_id, dtype=np.int64)
+        self.profiles = tuple(profiles)
+        self._source_records = source_records
+        self._memo: dict[str, Any] = {}
+        n = self.index.size
+        for name in ("epoch", "seq_len", "tgt_len", "time_s", "profile_id"):
+            if getattr(self, name).size != n:
+                raise TraceError(
+                    f"column {name!r} has {getattr(self, name).size} entries, "
+                    f"expected {n}"
+                )
+        if n:
+            if self.time_s.min() <= 0.0:
+                bad = int(self.index[int(np.argmin(self.time_s))])
+                raise TraceError(f"iteration {bad}: non-positive time")
+            lo, hi = int(self.profile_id.min()), int(self.profile_id.max())
+            if lo < 0 or hi >= len(self.profiles):
+                raise TraceError(
+                    f"profile_id range [{lo}, {hi}] outside the "
+                    f"{len(self.profiles)}-entry profile pool"
+                )
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        model_name: str,
+        dataset_name: str,
+        config_name: str,
+        batch_size: int,
+        records: "list[IterationRecord] | tuple[IterationRecord, ...]",
+        autotune_s: float = 0.0,
+        eval_s: float = 0.0,
+    ) -> "TraceFrame":
+        """Columnarise a row-oriented record list (the compat path)."""
+        records = tuple(records)
+        pool: dict[tuple, int] = {}
+        profiles: list[IterationProfile] = []
+        profile_id = np.empty(len(records), dtype=np.int64)
+        for position, record in enumerate(records):
+            profile = IterationProfile(
+                launches=record.launches,
+                counters=record.counters,
+                # The pool owns its dict: later mutation of the source
+                # record's group_times must not corrupt the profile.
+                group_times=dict(record.group_times),
+                kernel_names=record.kernel_names,
+            )
+            key = profile.dedup_key()
+            pid = pool.get(key)
+            if pid is None:
+                pid = pool[key] = len(profiles)
+                profiles.append(profile)
+            profile_id[position] = pid
+        n = len(records)
+        return cls(
+            model_name=model_name,
+            dataset_name=dataset_name,
+            config_name=config_name,
+            batch_size=batch_size,
+            index=np.fromiter((r.index for r in records), np.int64, n),
+            epoch=np.fromiter((r.epoch for r in records), np.int64, n),
+            seq_len=np.fromiter((r.seq_len for r in records), np.int64, n),
+            tgt_len=np.fromiter(
+                (NO_TGT if r.tgt_len is None else r.tgt_len for r in records),
+                np.int64,
+                n,
+            ),
+            time_s=np.fromiter((r.time_s for r in records), np.float64, n),
+            profile_id=profile_id,
+            profiles=tuple(profiles),
+            autotune_s=autotune_s,
+            eval_s=eval_s,
+            source_records=records,
+        )
+
+    def with_phases(self, autotune_s: float, eval_s: float) -> "TraceFrame":
+        """A frame sharing these columns with different phase totals."""
+        return TraceFrame(
+            model_name=self.model_name,
+            dataset_name=self.dataset_name,
+            config_name=self.config_name,
+            batch_size=self.batch_size,
+            index=self.index,
+            epoch=self.epoch,
+            seq_len=self.seq_len,
+            tgt_len=self.tgt_len,
+            time_s=self.time_s,
+            profile_id=self.profile_id,
+            profiles=self.profiles,
+            autotune_s=autotune_s,
+            eval_s=eval_s,
+            source_records=self._source_records,
+        )
+
+    # -- basic shape --------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.index.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceFrame({self.model_name!r}, {self.dataset_name!r}, "
+            f"{self.config_name!r}, iterations={len(self)}, "
+            f"profiles={len(self.profiles)})"
+        )
+
+    def cached(self, key: str, build: Callable[[], _T]) -> _T:
+        """Memoise ``build()`` on this (immutable) frame under ``key``."""
+        if key not in self._memo:
+            self._memo[key] = build()
+        return self._memo[key]
+
+    # -- aggregate statistics (vectorized) ----------------------------
+
+    @property
+    def total_time_s(self) -> float:
+        """Training-iteration time (the paper's projected statistic)."""
+        return float(self.time_s.sum())
+
+    @property
+    def wall_time_s(self) -> float:
+        """Everything a stopwatch would see, including one-off phases."""
+        return self.total_time_s + self.autotune_s + self.eval_s
+
+    @property
+    def samples(self) -> int:
+        return len(self) * self.batch_size
+
+    @property
+    def throughput(self) -> float:
+        """Training throughput in samples/s (the speedup statistic)."""
+        total = self.total_time_s
+        if total <= 0:
+            raise TraceError("empty trace has no throughput")
+        return self.samples / total
+
+    def unique_seq_lens(self) -> list[int]:
+        return self.cached(
+            "unique_seq_lens", lambda: np.unique(self.seq_len).tolist()
+        )
+
+    def iteration_histogram(self) -> dict[int, int]:
+        """Iteration count per unique sequence length (Fig 7 per-batch)."""
+        def build() -> dict[int, int]:
+            values, counts = np.unique(self.seq_len, return_counts=True)
+            return dict(zip(values.tolist(), counts.tolist()))
+
+        return self.cached("iteration_histogram", build)
+
+    def indices_for_seq_len(self, seq_len: int) -> np.ndarray:
+        return np.flatnonzero(self.seq_len == seq_len)
+
+    # -- derived columns ----------------------------------------------
+
+    @property
+    def launches(self) -> np.ndarray:
+        """Per-iteration kernel-launch counts."""
+        def build() -> np.ndarray:
+            per_profile = np.fromiter(
+                (p.launches for p in self.profiles),
+                np.int64,
+                len(self.profiles),
+            )
+            return per_profile[self.profile_id]
+
+        return self.cached("launches", build)
+
+    @property
+    def counter_names(self) -> tuple[str, ...]:
+        return _COUNTER_FIELDS
+
+    def counter_column(self, name: str) -> np.ndarray:
+        """Per-iteration values of one hardware counter."""
+        if name not in _COUNTER_FIELDS:
+            raise TraceError(f"unknown counter {name!r}")
+
+        def build() -> np.ndarray:
+            per_profile = np.fromiter(
+                (getattr(p.counters, name) for p in self.profiles),
+                np.float64,
+                len(self.profiles),
+            )
+            return per_profile[self.profile_id]
+
+        return self.cached(f"counter:{name}", build)
+
+    def counter_totals(self) -> CounterSet:
+        """Whole-trace counter sums as one :class:`CounterSet`."""
+        return CounterSet(
+            **{
+                name: float(self.counter_column(name).sum())
+                for name in _COUNTER_FIELDS
+            }
+        )
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """All kernel-group names observed, sorted."""
+        def build() -> tuple[str, ...]:
+            names: set[str] = set()
+            for profile in self.profiles:
+                names.update(profile.group_times)
+            return tuple(sorted(names))
+
+        return self.cached("groups", build)
+
+    def group_time_column(self, group: str) -> np.ndarray:
+        """Per-iteration device seconds spent in one kernel group."""
+        def build() -> np.ndarray:
+            per_profile = np.fromiter(
+                (p.group_times.get(group, 0.0) for p in self.profiles),
+                np.float64,
+                len(self.profiles),
+            )
+            return per_profile[self.profile_id]
+
+        return self.cached(f"group:{group}", build)
+
+    # -- row views ----------------------------------------------------
+
+    def tgt_len_at(self, i: int) -> int | None:
+        value = int(self.tgt_len[i])
+        return None if value == NO_TGT else value
+
+    def record(self, i: int) -> "IterationRecord":
+        """Materialise one row as an :class:`IterationRecord` view.
+
+        When the frame was columnarised from existing records the
+        original objects are returned, preserving identity.
+        """
+        if self._source_records is not None:
+            return self._source_records[i]
+        from repro.train.trace import IterationRecord
+
+        profile = self.profiles[int(self.profile_id[i])]
+        return IterationRecord(
+            index=int(self.index[i]),
+            epoch=int(self.epoch[i]),
+            seq_len=int(self.seq_len[i]),
+            tgt_len=self.tgt_len_at(i),
+            time_s=float(self.time_s[i]),
+            launches=profile.launches,
+            counters=profile.counters,
+            # Each materialised record owns its dict: a caller mutating
+            # one record must not reach siblings or the profile pool.
+            group_times=dict(profile.group_times),
+            kernel_names=profile.kernel_names,
+        )
+
+    def build_records(self) -> "list[IterationRecord]":
+        """Materialise every row (the full row-oriented view)."""
+        if self._source_records is not None:
+            return list(self._source_records)
+        return [self.record(i) for i in range(len(self))]
+
+    def to_trace(self) -> "TrainingTrace":
+        """Wrap this frame in the row-oriented compatibility view."""
+        from repro.train.trace import TrainingTrace
+
+        return TrainingTrace.from_frame(self)
+
+    # -- persistence --------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The columnar v2 document (without the schema stamp)."""
+        return {
+            "model_name": self.model_name,
+            "dataset_name": self.dataset_name,
+            "config_name": self.config_name,
+            "batch_size": self.batch_size,
+            "autotune_s": self.autotune_s,
+            "eval_s": self.eval_s,
+            "iterations": {
+                "index": self.index.tolist(),
+                "epoch": self.epoch.tolist(),
+                "seq_len": self.seq_len.tolist(),
+                "tgt_len": [
+                    None if value == NO_TGT else value
+                    for value in self.tgt_len.tolist()
+                ],
+                "time_s": self.time_s.tolist(),
+                "profile": self.profile_id.tolist(),
+            },
+            "profiles": [
+                {
+                    "launches": profile.launches,
+                    "counters": profile.counters.as_dict(),
+                    "group_times": profile.group_times,
+                    "kernel_names": sorted(profile.kernel_names),
+                }
+                for profile in self.profiles
+            ],
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Persist as a ``repro.training-trace.v2`` JSON artefact."""
+        dump_json(self.to_payload(), path, SCHEMA_V2)
+
+    @classmethod
+    def from_payload(cls, document: dict[str, Any]) -> "TraceFrame":
+        """Rebuild a frame from a v2 document."""
+        columns = document["iterations"]
+        profiles = tuple(
+            IterationProfile(
+                launches=row["launches"],
+                counters=CounterSet(**row["counters"]),
+                group_times=dict(row["group_times"]),
+                kernel_names=frozenset(row["kernel_names"]),
+            )
+            for row in document["profiles"]
+        )
+        tgt = [
+            NO_TGT if value is None else value for value in columns["tgt_len"]
+        ]
+        return cls(
+            model_name=document["model_name"],
+            dataset_name=document["dataset_name"],
+            config_name=document["config_name"],
+            batch_size=document["batch_size"],
+            index=np.asarray(columns["index"], dtype=np.int64),
+            epoch=np.asarray(columns["epoch"], dtype=np.int64),
+            seq_len=np.asarray(columns["seq_len"], dtype=np.int64),
+            tgt_len=np.asarray(tgt, dtype=np.int64),
+            time_s=np.asarray(columns["time_s"], dtype=np.float64),
+            profile_id=np.asarray(columns["profile"], dtype=np.int64),
+            profiles=profiles,
+            autotune_s=document["autotune_s"],
+            eval_s=document["eval_s"],
+        )
+
+    @classmethod
+    def _from_v1_document(cls, document: dict[str, Any]) -> "TraceFrame":
+        """Columnarise a legacy row-oriented v1 document.
+
+        Rows rebuild into :class:`IterationRecord` views and delegate to
+        :meth:`from_records`, so v1 loads share one pooling path.
+        """
+        from repro.train.trace import IterationRecord
+
+        records = [
+            IterationRecord(
+                index=row["index"],
+                epoch=row["epoch"],
+                seq_len=row["seq_len"],
+                tgt_len=row["tgt_len"],
+                time_s=row["time_s"],
+                launches=row["launches"],
+                counters=CounterSet(**row["counters"]),
+                group_times=dict(row["group_times"]),
+                kernel_names=frozenset(row["kernel_names"]),
+            )
+            for row in document["records"]
+        ]
+        return cls.from_records(
+            model_name=document["model_name"],
+            dataset_name=document["dataset_name"],
+            config_name=document["config_name"],
+            batch_size=document["batch_size"],
+            records=records,
+            autotune_s=document["autotune_s"],
+            eval_s=document["eval_s"],
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceFrame":
+        """Load a trace artefact of any supported schema version."""
+        document = read_json(path)
+        schema = document.get("schema")
+        if schema == SCHEMA_V2:
+            return cls.from_payload(document)
+        if schema == SCHEMA_V1:
+            return cls._from_v1_document(document)
+        raise TraceError(
+            f"{Path(path)}: unknown trace schema {schema!r}; expected "
+            f"{SCHEMA_V2!r} or {SCHEMA_V1!r}"
+        )
+
+
+def dedupe_shapes(
+    seq_len: np.ndarray, tgt_len: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unique ``(seq_len, tgt_len)`` shapes in first-appearance order.
+
+    The shared primitive of shape-memoized simulation: returns
+    ``(first_iterations, profile_id)`` where ``first_iterations[j]`` is
+    the iteration index at which unique shape ``j`` first appears
+    (ascending, i.e. epoch order — autotune charges must accrue in this
+    order to stay bit-identical to the per-iteration path) and
+    ``profile_id[i]`` maps iteration ``i`` onto its shape.
+    """
+    shapes = np.stack([seq_len, tgt_len], axis=1)
+    _, first_index, inverse = np.unique(
+        shapes, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    # np.unique sorts lexicographically; re-rank by first appearance.
+    appearance = np.argsort(first_index, kind="stable")
+    rank = np.empty(appearance.size, dtype=np.int64)
+    rank[appearance] = np.arange(appearance.size)
+    return first_index[appearance], rank[inverse]
+
+
+def as_frame(trace: "TraceFrame | TrainingTrace") -> TraceFrame:
+    """Coerce a trace-like object to its columnar frame."""
+    if isinstance(trace, TraceFrame):
+        return trace
+    frame = getattr(trace, "frame", None)
+    if callable(frame):
+        return frame()
+    raise TypeError(
+        f"expected a TraceFrame or TrainingTrace, got {type(trace).__name__}"
+    )

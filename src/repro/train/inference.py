@@ -11,12 +11,16 @@ inference without modification.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.data.batching import BatchingPolicy
 from repro.data.dataset import SequenceDataset
 from repro.errors import ConfigurationError
 from repro.hw.device import GpuDevice
-from repro.models.spec import Model
+from repro.models.spec import IterationInputs, Model
+from repro.train.frame import TraceFrame
 from repro.train.iteration import IterationExecutor
+from repro.train.runner import memoized_shape_walk
 from repro.train.trace import IterationRecord, TrainingTrace
 from repro.util.rng import derive_seed, make_rng
 
@@ -55,13 +59,30 @@ class InferenceRunSimulator:
         rng = make_rng(derive_seed(self.seed, "inference-noise", index))
         return float(rng.lognormal(mean=0.0, sigma=self.noise_sigma))
 
-    def run_pass(self, epoch: int = 0) -> TrainingTrace:
+    def run_pass(
+        self, epoch: int = 0, *, columnar: bool = True
+    ) -> TrainingTrace:
         """One pass over the request set; returns an inference trace.
 
         Characterisation uses full batches (serving replicates a fixed
         batch size); when the request set is smaller than one batch the
         ragged remainder is kept so tiny sets still produce a trace.
+
+        Like :meth:`TrainingRunSimulator.run_epoch`, the default path
+        walks kernels once per unique shape and broadcasts into a
+        columnar frame; ``columnar=False`` keeps the bit-identical
+        per-request reference loop.
         """
+        if columnar:
+            seq_len, tgt_len = self.batching.plan_epoch_columns(
+                self.dataset, epoch=epoch, seed=self.seed
+            )
+            if seq_len.size:
+                return TrainingTrace.from_frame(
+                    self._run_pass_frame(epoch, seq_len, tgt_len)
+                )
+            # Request set smaller than one batch: fall through to the
+            # ragged-remainder path below.
         plan = self.batching.plan_epoch(
             self.dataset, epoch=epoch, seed=self.seed, drop_last=True
         )
@@ -94,10 +115,37 @@ class InferenceRunSimulator:
             )
         return trace
 
+    def _run_pass_frame(
+        self, epoch: int, seq_len: np.ndarray, tgt_len: np.ndarray
+    ) -> TraceFrame:
+        """Shape-memoized columnar pass over full request batches."""
+        count = int(seq_len.size)
+        time_s, profile_id, profiles = memoized_shape_walk(
+            seq_len, tgt_len, self.batching.batch_size,
+            self.executor.run_forward,
+        )
+        if self.noise_sigma:
+            time_s = time_s * np.fromiter(
+                (self._noise(index) for index in range(count)),
+                dtype=np.float64,
+                count=count,
+            )
+        return TraceFrame(
+            model_name=f"{self.model.name}-inference",
+            dataset_name=self.dataset.name,
+            config_name=self.device.config.name,
+            batch_size=self.batching.batch_size,
+            index=np.arange(count, dtype=np.int64),
+            epoch=np.full(count, epoch, dtype=np.int64),
+            seq_len=seq_len,
+            tgt_len=tgt_len,
+            time_s=time_s,
+            profile_id=profile_id,
+            profiles=tuple(profiles),
+        )
+
     def measure_seq_len(self, seq_len: int, tgt_len: int | None = None) -> float:
         """Forward latency of one batch at ``seq_len`` on this device."""
-        from repro.models.spec import IterationInputs
-
         inputs = IterationInputs(
             batch=self.batching.batch_size, seq_len=seq_len, tgt_len=tgt_len
         )

@@ -8,11 +8,25 @@ new GEMM shape — expensive in the first epoch, free afterwards) and
 the end-of-epoch *evaluation* pass (forward-only on a held-out set,
 empirically 2-3% of epoch time).
 
+The default epoch path is *shape-memoized and columnar*: per Key
+Observation 4, every iteration with the same padded
+``(batch, seq_len, tgt_len)`` shape performs identical work, so an
+epoch walks the kernel schedule once per unique shape — O(unique SLs)
+— and broadcasts the results into a
+:class:`~repro.train.frame.TraceFrame` with vectorized column
+operations.  Autotune charging follows first appearances (repeat
+charges are exactly ``0.0`` in the per-iteration path) and
+per-iteration log-normal noise is applied on top, so the produced trace
+is bit-identical to the per-iteration reference path, which is kept as
+``columnar=False`` for equivalence tests and benchmarks.
+
 Optional multiplicative log-normal noise models run-to-run measurement
 jitter on real hardware; it is off by default so tests are exact.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.data.batching import BatchingPolicy
 from repro.data.dataset import SequenceDataset
@@ -20,11 +34,64 @@ from repro.errors import ConfigurationError
 from repro.hw.device import GpuDevice
 from repro.kernels.autotune import Autotuner
 from repro.models.spec import IterationInputs, Model
+from repro.train.frame import (
+    NO_TGT,
+    IterationProfile,
+    TraceFrame,
+    dedupe_shapes,
+)
 from repro.train.iteration import DEFAULT_HOST_OVERHEAD_S, IterationExecutor
 from repro.train.trace import IterationRecord, TrainingTrace
 from repro.util.rng import derive_seed, make_rng
 
-__all__ = ["TrainingRunSimulator"]
+__all__ = ["TrainingRunSimulator", "memoized_shape_walk"]
+
+
+def memoized_shape_walk(
+    seq_len: np.ndarray,
+    tgt_len: np.ndarray,
+    batch: int,
+    run,
+    on_result=None,
+):
+    """Walk unique ``(seq_len, tgt_len)`` shapes in first-appearance order.
+
+    The shared core of shape-memoized simulation (training and
+    inference): ``run`` executes one :class:`IterationInputs` and
+    returns an :class:`~repro.train.iteration.IterationResult`;
+    ``on_result`` (optional) observes each unique shape's inputs and
+    result in epoch order — the autotune-charging hook.  Returns
+    ``(time_s, profile_id, profiles)`` with the per-shape runtimes
+    already broadcast to every iteration.
+    """
+    first_iterations, profile_id = dedupe_shapes(seq_len, tgt_len)
+    base_time = np.empty(first_iterations.size, dtype=np.float64)
+    profiles: list[IterationProfile] = []
+    for iteration in first_iterations:
+        inputs = IterationInputs(
+            batch=batch,
+            seq_len=int(seq_len[iteration]),
+            tgt_len=(
+                None
+                if tgt_len[iteration] == NO_TGT
+                else int(tgt_len[iteration])
+            ),
+        )
+        result = run(inputs)
+        if on_result is not None:
+            on_result(inputs, result)
+        base_time[len(profiles)] = result.time_s
+        profiles.append(
+            IterationProfile(
+                launches=result.launches,
+                counters=result.counters,
+                # Copy: the executor memoises results, and the profile
+                # pool must not alias its cache.
+                group_times=dict(result.group_times),
+                kernel_names=result.kernel_names,
+            )
+        )
+    return base_time[profile_id], profile_id, tuple(profiles)
 
 
 class TrainingRunSimulator:
@@ -57,6 +124,10 @@ class TrainingRunSimulator:
         self.noise_seed = seed if noise_seed is None else noise_seed
         self.executor = IterationExecutor(model, device, host_overhead_s)
         self._autotuner = Autotuner(device.config)
+        # Iteration shapes whose GEMM shapes have all been charged:
+        # re-charging would contribute exactly 0.0, so the columnar
+        # path skips the whole charge loop for them.
+        self._autotune_settled: set[tuple[int, int, int | None]] = set()
 
     def _noise(self, epoch: int, index: int) -> float:
         if self.noise_sigma == 0.0:
@@ -64,11 +135,28 @@ class TrainingRunSimulator:
         rng = make_rng(derive_seed(self.noise_seed, "noise", epoch, index))
         return float(rng.lognormal(mean=0.0, sigma=self.noise_sigma))
 
-    def _eval_phase_time(self) -> float:
+    def _noise_column(self, epoch: int, count: int) -> np.ndarray | None:
+        """Per-iteration jitter factors for one epoch (None when off)."""
+        if self.noise_sigma == 0.0:
+            return None
+        return np.fromiter(
+            (self._noise(epoch, index) for index in range(count)),
+            dtype=np.float64,
+            count=count,
+        )
+
+    def _eval_phase_time(self, epoch: int = 0) -> float:
+        """Evaluation-pass time after ``epoch``.
+
+        The eval plan follows the batching policy at the epoch being
+        simulated: policies whose order is epoch-dependent (shuffled,
+        SortaGrad after epoch 0) regroup the held-out set each epoch,
+        which changes batch padding and therefore eval time.
+        """
         if self.eval_dataset is None:
             return 0.0
         plan = self.batching.plan_epoch(
-            self.eval_dataset, epoch=0, seed=self.seed, drop_last=False
+            self.eval_dataset, epoch=epoch, seed=self.seed, drop_last=False
         )
         return sum(
             self.executor.run_forward(inputs).time_s for inputs in plan
@@ -91,9 +179,83 @@ class TrainingRunSimulator:
         ]
 
     def run_epoch(
+        self,
+        epoch: int = 0,
+        include_eval: bool = True,
+        *,
+        columnar: bool = True,
+    ) -> TrainingTrace:
+        """Simulate one epoch and return its trace.
+
+        ``columnar=False`` selects the per-iteration reference path; it
+        produces a bit-identical trace and exists for equivalence tests
+        and the ``bench_trace_columnar`` comparison.
+        """
+        if not columnar:
+            return self._run_epoch_reference(epoch, include_eval)
+        return TrainingTrace.from_frame(self.run_epoch_frame(epoch, include_eval))
+
+    def run_epoch_frame(
+        self, epoch: int = 0, include_eval: bool = True
+    ) -> TraceFrame:
+        """Simulate one epoch directly into a columnar frame.
+
+        Kernel walks happen once per unique ``(seq_len, tgt_len)``
+        shape, in first-appearance order so autotune accounting matches
+        the per-iteration path exactly; runtimes are broadcast back to
+        all iterations and noised per iteration.
+        """
+        seq_len, tgt_len = self.batching.plan_epoch_columns(
+            self.dataset, epoch=epoch, seed=self.seed
+        )
+        count = int(seq_len.size)
+        if count == 0:
+            raise ConfigurationError(
+                f"{self.dataset.name}: dataset too small for one "
+                f"batch of {self.batching.batch_size}"
+            )
+        autotune_s = 0.0
+
+        def charge_autotune(inputs: IterationInputs, result) -> None:
+            nonlocal autotune_s
+            shape_key = (inputs.batch, inputs.seq_len, inputs.tgt_len)
+            if shape_key not in self._autotune_settled:
+                for shape in result.gemm_shapes:
+                    autotune_s += self._autotuner.charge(*shape)
+                self._autotune_settled.add(shape_key)
+
+        batch = self.batching.batch_size
+        time_s, profile_id, profiles = memoized_shape_walk(
+            seq_len, tgt_len, batch, self.executor.run, charge_autotune
+        )
+        noise = self._noise_column(epoch, count)
+        if noise is not None:
+            time_s = time_s * noise
+        return TraceFrame(
+            model_name=self.model.name,
+            dataset_name=self.dataset.name,
+            config_name=self.device.config.name,
+            batch_size=batch,
+            index=np.arange(count, dtype=np.int64),
+            epoch=np.full(count, epoch, dtype=np.int64),
+            seq_len=seq_len,
+            tgt_len=tgt_len,
+            time_s=time_s,
+            profile_id=profile_id,
+            profiles=profiles,
+            autotune_s=autotune_s,
+            eval_s=self._eval_phase_time(epoch) if include_eval else 0.0,
+        )
+
+    def _run_epoch_reference(
         self, epoch: int = 0, include_eval: bool = True
     ) -> TrainingTrace:
-        """Simulate one epoch and return its trace."""
+        """The pre-columnar per-iteration epoch loop, kept verbatim.
+
+        Ground truth for the bit-identity guarantee of
+        :meth:`run_epoch_frame` and the baseline of
+        ``benchmarks/bench_trace_columnar.py``.
+        """
         plan = self.batching.plan_epoch(self.dataset, epoch=epoch, seed=self.seed)
         if not plan:
             raise ConfigurationError(
@@ -124,7 +286,7 @@ class TrainingRunSimulator:
                 )
             )
         if include_eval:
-            trace.eval_s = self._eval_phase_time()
+            trace.eval_s = self._eval_phase_time(epoch)
         return trace
 
     def measure_seq_len(self, seq_len: int, tgt_len: int | None = None) -> float:

@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.errors import TraceError
 
-__all__ = ["dump_json", "load_json"]
+__all__ = ["dump_json", "load_json", "read_json"]
 
 
 def dump_json(payload: dict[str, Any], path: str | Path, schema: str) -> None:
@@ -28,11 +28,20 @@ def dump_json(payload: dict[str, Any], path: str | Path, schema: str) -> None:
         json.dump(document, handle, sort_keys=True, indent=1)
 
 
+def read_json(path: str | Path) -> dict[str, Any]:
+    """Load ``path`` without checking its schema stamp.
+
+    For loaders that accept several schema versions and dispatch on the
+    ``schema`` field themselves (e.g. trace v1/v2).
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def load_json(path: str | Path, schema: str) -> dict[str, Any]:
     """Load ``path`` and verify it carries the expected ``schema`` stamp."""
     source = Path(path)
-    with source.open("r", encoding="utf-8") as handle:
-        document = json.load(handle)
+    document = read_json(source)
     found = document.get("schema")
     if found != schema:
         raise TraceError(

@@ -1,6 +1,5 @@
 """Unit tests for the fixed-input CNN (the Fig 3 contrast)."""
 
-import pytest
 
 from repro.hw.config import paper_config
 from repro.models.cnn import build_cnn

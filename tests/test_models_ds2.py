@@ -1,6 +1,5 @@
 """Unit tests for the DS2 model builder."""
 
-import pytest
 
 from repro.hw.config import paper_config
 from repro.models.ds2 import build_ds2

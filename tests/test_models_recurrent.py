@@ -1,6 +1,5 @@
 """Unit tests for LSTM/GRU layers — the heterogeneity mechanism."""
 
-import pytest
 
 from repro.hw.config import paper_config
 from repro.models.layers.recurrent import GRULayer, LSTMLayer

@@ -6,12 +6,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.binning import bin_stats, bin_stats_equal_mass
 from repro.core.projection import project_total
-from repro.core.selection import select_from_bin, Selection
+from repro.core.selection import select_from_bin
 from repro.core.seqpoint import SeqPointSelector
 from repro.core.sl_stats import SlStatistics
 from repro.hw.cache import TrafficProfile, capacity_factor, resolve_traffic
 from repro.hw.compute import ComputeProfile, parallel_efficiency
-from repro.hw.config import HardwareConfig, paper_config
+from repro.hw.config import paper_config
 from repro.hw.timing import WorkProfile, time_work
 from repro.util.stats import geomean, weighted_average, weighted_sum
 from tests.conftest import make_trace

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.data.batching import ShuffledBatching, SortedBatching
+from repro.data.dataset import Sample, SequenceDataset
 from repro.data.iwslt import build_iwslt
 from repro.data.librispeech import build_librispeech
 from repro.errors import ConfigurationError
@@ -71,6 +72,37 @@ class TestEvalPhase:
 
     def test_eval_skipped_when_absent(self, ds2_sim):
         assert ds2_sim.run_epoch(include_eval=True).eval_s == 0.0
+
+    def test_eval_follows_epoch_order(self, devices):
+        # The eval plan is batched by the policy at the *simulated*
+        # epoch: a shuffled policy regroups the held-out set each
+        # epoch, changing batch padding and therefore eval time.
+        # Distinct lengths make the regrouping visible deterministically.
+        train = build_librispeech(utterances=640)
+        evaluation = SequenceDataset(
+            "distinct-eval",
+            tuple(Sample(length=100 + 7 * i) for i in range(48)),
+            vocab=29,
+        )
+        sim = TrainingRunSimulator(
+            build_ds2(), train, ShuffledBatching(16), devices[1],
+            eval_dataset=evaluation,
+        )
+        epoch0, epoch1 = sim.run_training(epochs=2)
+        assert epoch0.eval_s > 0
+        assert epoch0.eval_s != epoch1.eval_s
+
+    def test_eval_epoch_invariant_under_sorted_order(self, devices):
+        # Sorted batching is epoch-invariant, so eval time must be too.
+        corpus = build_librispeech(utterances=1280)
+        train, evaluation = corpus.split(0.10, seed=1)
+        sim = TrainingRunSimulator(
+            build_ds2(), train, SortedBatching(64), devices[1],
+            eval_dataset=evaluation,
+        )
+        epoch0, epoch1 = sim.run_training(epochs=2)
+        assert epoch0.eval_s > 0
+        assert epoch0.eval_s == epoch1.eval_s
 
 
 class TestNoise:
