@@ -1,7 +1,20 @@
-"""Fig 13 bench: GNMT per-SL sensitivity to the hardware knobs."""
+"""Fig 13 bench: GNMT sensitivity to the hardware knobs and to ``e``.
 
+The per-SL uplift curves check the paper's shape; the target-count
+study runs as a declarative grid on the sweep engine
+(:mod:`repro.api.parallel`), all thresholds sharing one identification
+epoch through the trace cache.
+"""
+
+from repro.api.engine import default_engine
+from repro.api.parallel import run_sweep
 from repro.experiments import fig13
-from repro.experiments.sensitivity import sensitivity_curves
+from repro.experiments.sensitivity import (
+    THRESHOLDS,
+    sensitivity_curves,
+    threshold_run_violations,
+    threshold_sweep,
+)
 
 
 def test_fig13_gnmt_sensitivity(benchmark, scale, emit):
@@ -17,3 +30,10 @@ def test_fig13_gnmt_sensitivity(benchmark, scale, emit):
         assert uplifts[0] < max(uplifts)
     # Clock and CU bands sit far above the cache bands, as in the paper.
     assert min(u for _, u in curves[3]) > max(u for _, u in curves[5])
+
+
+def test_fig13_gnmt_target_count_sweep(scale):
+    """Target-count sensitivity via the sweep engine (paper Fig 13 axis)."""
+    run = run_sweep(threshold_sweep("gnmt", scale), engine=default_engine())
+    assert len(run.results) == len(THRESHOLDS)
+    assert threshold_run_violations(run) == []

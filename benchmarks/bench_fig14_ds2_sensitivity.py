@@ -1,7 +1,18 @@
-"""Fig 14 bench: DS2 per-SL sensitivity to the hardware knobs."""
+"""Fig 14 bench: DS2 sensitivity to the hardware knobs and to ``e``.
 
+Like Fig 13's bench, the target-count study runs as a declarative grid
+on the sweep engine, all thresholds sharing one identification epoch.
+"""
+
+from repro.api.engine import default_engine
+from repro.api.parallel import run_sweep
 from repro.experiments import fig14
-from repro.experiments.sensitivity import sensitivity_curves
+from repro.experiments.sensitivity import (
+    THRESHOLDS,
+    sensitivity_curves,
+    threshold_run_violations,
+    threshold_sweep,
+)
 
 
 def test_fig14_ds2_sensitivity(benchmark, scale, emit):
@@ -18,3 +29,10 @@ def test_fig14_ds2_sensitivity(benchmark, scale, emit):
     for curve in curves.values():
         upper = [u for _, u in curve[len(curve) // 2:]]
         assert (max(upper) - min(upper)) / max(upper) < 0.05
+
+
+def test_fig14_ds2_target_count_sweep(scale):
+    """Target-count sensitivity via the sweep engine (paper Fig 14 axis)."""
+    run = run_sweep(threshold_sweep("ds2", scale), engine=default_engine())
+    assert len(run.results) == len(THRESHOLDS)
+    assert threshold_run_violations(run) == []

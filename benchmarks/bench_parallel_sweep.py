@@ -1,0 +1,132 @@
+"""Parallel sweep bench: serial loop vs the process-pool sweep engine.
+
+Times one sensitivity-style grid — seeds x selectors projected onto two
+hardware configs, 16 analysis points by default — twice:
+
+* **serial**: ``run_sweep(mode="serial")`` on a fresh engine, i.e. the
+  plain loop over :meth:`AnalysisEngine.run` the sweep engine must be
+  bit-identical to;
+* **process**: ``run_sweep(mode="process")`` with N workers sharing an
+  on-disk trace cache; every unique epoch simulates exactly once, then
+  per-point analyses fan out.
+
+Both paths must agree bit-for-bit; the bench asserts it on every run.
+The headline claim (the >=2x in the README) is the wall-clock ratio
+with 4 workers — meaningful only when the machine actually has the
+cores, so the gate is skipped (with a note) on smaller hosts.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sweep.py [--smoke]
+        [--json BENCH_parallel_sweep.json]
+
+or through pytest (``pytest benchmarks/bench_parallel_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.api import AnalysisEngine, SweepSpec, run_sweep
+
+
+def build_sweep(scale: float, seeds: int, networks: tuple[str, ...] = ("gnmt",)) -> SweepSpec:
+    """seeds x {seqpoint, frequent} per network, projected onto configs 1 and 3."""
+    return SweepSpec(
+        networks=networks,
+        scales=(scale,),
+        seeds=tuple(range(seeds)),
+        selectors=("seqpoint", "frequent"),
+        targets=(1, 3),
+    )
+
+
+def run_comparison(scale: float, seeds: int, workers: int):
+    """Time serial vs process execution of one grid; assert bit-identity."""
+    sweep = build_sweep(scale, seeds)
+
+    start = time.perf_counter()
+    serial = run_sweep(sweep, engine=AnalysisEngine(), mode="serial")
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(sweep, mode="process", workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    expected = [result.to_dict() for result in serial.results]
+    produced = [result.to_dict() for result in parallel.results]
+    assert produced == expected, "process-parallel sweep diverged from the serial path"
+    return serial_s, parallel_s, len(serial.results), serial.unique_traces
+
+
+def report(serial_s, parallel_s, points, unique, workers):
+    speedup = serial_s / parallel_s
+    print(f"{points}-point sweep, {unique} unique epoch traces")
+    print(
+        f"  serial                 {serial_s * 1e3:8.1f} ms\n"
+        f"  process ({workers} workers)    {parallel_s * 1e3:8.1f} ms   ({speedup:.2f}x)"
+    )
+    return speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid, 2 workers, no speedup assertion")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="corpus scale (default 0.2)")
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="data-order seeds in the grid (default 8 -> 16 points)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write machine-readable results (BENCH_*.json schema)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale, args.seeds, args.workers = 0.02, 2, 2
+
+    serial_s, parallel_s, points, unique = run_comparison(
+        args.scale, args.seeds, args.workers
+    )
+    speedup = report(serial_s, parallel_s, points, unique, args.workers)
+
+    if args.json is not None:
+        payload = {
+            "bench": "parallel_sweep",
+            "scale": args.scale,
+            "results": [
+                {"name": "serial", "seconds": serial_s, "speedup": 1.0},
+                {
+                    "name": f"process[{args.workers}]",
+                    "seconds": parallel_s,
+                    "speedup": speedup,
+                },
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    cores = os.cpu_count() or 1
+    if not args.smoke:
+        if cores < args.workers:
+            print(
+                f"NOTE: only {cores} CPUs for {args.workers} workers; "
+                "speedup gate skipped"
+            )
+        elif speedup < 2.0:
+            print(f"WARNING: sweep speedup {speedup:.2f}x below the 2x target")
+            return 1
+    return 0
+
+
+def test_parallel_sweep_matches_serial(scale):
+    """Pytest entry: process-pool results must equal the serial loop."""
+    run_comparison(scale=min(scale, 0.05), seeds=2, workers=2)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ Both paths must agree bit-for-bit; the bench asserts it on every epoch.
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_trace_columnar.py [--smoke]
+        [--json BENCH_trace_columnar.json]
 
 or through pytest (``pytest benchmarks/bench_trace_columnar.py``).
 """
@@ -39,6 +40,7 @@ or through pytest (``pytest benchmarks/bench_trace_columnar.py``).
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 from repro.api.registry import DATASETS, MODELS, build_batching
@@ -258,14 +260,33 @@ def main(argv=None) -> int:
                         help="measurement-noise sigma (default 0: exact)")
     parser.add_argument("--networks", default="gnmt",
                         help="comma-separated: gnmt,ds2")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write machine-readable results (BENCH_*.json schema)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.scale, args.epochs = 0.05, 2
 
     worst = float("inf")
+    entries = []
     for network in args.networks.split(","):
         outcome = run_comparison(network, args.scale, args.epochs, args.sigma)
         worst = min(worst, report(network, *outcome))
+        _, legacy_times, columnar_times, _, _ = outcome
+        steady_legacy, steady_columnar = sum(legacy_times), sum(columnar_times)
+        entries.append(
+            {"name": f"{network}_steady_legacy", "seconds": steady_legacy,
+             "speedup": 1.0}
+        )
+        entries.append(
+            {"name": f"{network}_steady_columnar", "seconds": steady_columnar,
+             "speedup": steady_legacy / steady_columnar}
+        )
+    if args.json is not None:
+        payload = {"bench": "trace_columnar", "scale": args.scale, "results": entries}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     if not args.smoke and worst < 3.0:
         print(f"WARNING: steady-state speedup {worst:.2f}x below the 3x target")
         return 1

@@ -8,6 +8,15 @@ quoted in EXPERIMENTS.md).
 Run with ``pytest benchmarks/ --benchmark-only -s`` to also print every
 regenerated table — that is the harness reproducing the paper's
 evaluation section.
+
+Performance benches double as standalone scripts with a shared CLI
+convention: ``--smoke`` runs a seconds-scale configuration with the
+speedup gate disabled (what CI's ``bench`` job executes on every
+push), and ``--json PATH`` writes the machine-readable result file the
+job uploads as an artifact — ``BENCH_<bench>.json`` at the repo root,
+schema ``{"bench": ..., "scale": ..., "results": [{"name": ...,
+"seconds": ..., "speedup": ...}]}``.  See
+``bench_trace_columnar.py`` and ``bench_parallel_sweep.py``.
 """
 
 from __future__ import annotations

@@ -12,6 +12,19 @@ Components are addressed by name through string-keyed registries
 (:data:`MODELS`, :data:`DATASETS`, :data:`BATCHING`,
 :data:`SELECTORS`); specs round-trip through JSON; identification
 epochs are shared through a content-addressed :class:`TraceCache`.
+
+Grids of analyses are a first-class citizen: a :class:`SweepSpec`
+describes the whole grid, and :func:`run_sweep` (or
+:meth:`AnalysisEngine.run_sweep`) executes it — process-parallel by
+default, with every unique epoch simulated exactly once into a shared
+on-disk cache::
+
+    from repro.api import SweepSpec, run_sweep
+
+    sweep = SweepSpec(networks=("gnmt", "ds2"), scales=(0.1,), seeds=(0, 1))
+    run = run_sweep(sweep, workers=4)
+    for result in run.results:
+        print(result.spec.network, result.identification_error_pct)
 """
 
 from repro.api.cache import TraceCache
@@ -22,7 +35,9 @@ from repro.api.engine import (
     ResolvedAnalysis,
     SelectedPointSummary,
     default_engine,
+    trace_key,
 )
+from repro.api.parallel import SweepPlan, SweepRun, SweepSpec, plan_sweep, run_sweep
 from repro.api.registry import BATCHING, DATASETS, MODELS, SELECTORS, Registry
 from repro.api.spec import AnalysisSpec, ProjectionSpec
 
@@ -34,6 +49,9 @@ __all__ = [
     "ConfigProjection",
     "ResolvedAnalysis",
     "SelectedPointSummary",
+    "SweepPlan",
+    "SweepRun",
+    "SweepSpec",
     "TraceCache",
     "Registry",
     "MODELS",
@@ -41,4 +59,7 @@ __all__ = [
     "BATCHING",
     "SELECTORS",
     "default_engine",
+    "plan_sweep",
+    "run_sweep",
+    "trace_key",
 ]

@@ -20,16 +20,32 @@ Hit/miss counters make the reuse measurable (see
 ``benchmarks/bench_api_cache.py``); per-key locks make concurrent
 ``get_or_compute`` calls for the same key simulate once, which is what
 lets :meth:`AnalysisEngine.run_many` deduplicate shared work.
+
+Disk-backed caches additionally coordinate *across processes*: writes
+are atomic (temp file + rename, so readers never observe a partial
+artefact) and ``get_or_compute`` holds a per-key advisory file lock for
+the duration of a miss, so two worker processes racing on one key
+produce exactly one simulation — the loser blocks, then loads the
+winner's artefact as a disk hit.  That protocol is what lets the
+process-parallel sweep executor (:mod:`repro.api.parallel`) fan workers
+out over one shared cache directory.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.train.trace import TrainingTrace
 
@@ -82,7 +98,26 @@ class TraceCache:
             self._memory[key] = trace
         path = self._path(key)
         if path is not None:
-            trace.save(path)
+            # Write-then-rename so a concurrent reader either sees the
+            # previous artefact or the complete new one, never a prefix.
+            staging = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            trace.save(staging)
+            os.replace(staging, path)
+
+    @contextmanager
+    def _file_lock(self, key: str) -> Iterator[None]:
+        """Exclusive inter-process lock for ``key`` (disk caches only)."""
+        if self.directory is None or fcntl is None:
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock_path = self.directory / f"{key}.lock"
+        with lock_path.open("a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def get_or_compute(
         self, key: str, compute: Callable[[], TrainingTrace]
@@ -90,11 +125,20 @@ class TraceCache:
         """Return the cached trace, computing and storing it on a miss.
 
         Concurrent callers with the same key serialise on a per-key
-        lock, so the expensive simulation runs exactly once.
+        lock — threads on an in-process lock, processes (for disk-backed
+        caches) on an advisory file lock — so the expensive simulation
+        runs exactly once; every other caller observes a hit.
         """
         with self._lock:
+            # Memory hits skip the locks entirely: entries are immutable
+            # once stored and writes land by atomic rename, so the fast
+            # path can never observe a partial artefact.
+            trace = self._memory.get(key)
+            if trace is not None:
+                self.hits += 1
+                return trace
             key_lock = self._key_locks.setdefault(key, threading.Lock())
-        with key_lock:
+        with key_lock, self._file_lock(key):
             trace = self.get(key)
             if trace is None:
                 trace = compute()

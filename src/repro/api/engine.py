@@ -11,7 +11,10 @@ one cache and produce identical numbers for identical requests.
 
 ``run_many`` fans a batch of specs out over a thread pool; the cache's
 per-key locking deduplicates shared simulations, so e.g. a sweep of
-five selectors over one scenario costs one epoch, not five.
+five selectors over one scenario costs one epoch, not five.  For grids
+large enough that the GIL is the bottleneck, ``run_sweep`` hands a
+declarative :class:`~repro.api.parallel.SweepSpec` to the
+process-parallel executor in :mod:`repro.api.parallel`.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ __all__ = [
     "SelectedPointSummary",
     "ResolvedAnalysis",
     "default_engine",
+    "trace_key",
     "EVAL_FRACTION",
     "NOISE_SIGMA",
 ]
@@ -62,6 +66,18 @@ SPLIT_SEED = 7
 #: Deterministic per (config, iteration), so analyses stay exactly
 #: reproducible while error magnitudes stay honest.
 NOISE_SIGMA = 0.02
+
+
+def trace_key(spec: AnalysisSpec, noise_sigma: float = NOISE_SIGMA) -> str:
+    """Content-address of the identification trace a spec implies.
+
+    Module-level so planners (:mod:`repro.api.parallel`) can dedupe
+    simulation work without instantiating an engine; the engine method
+    delegates here with its own noise model.
+    """
+    fingerprint = dict(spec.trace_fingerprint())
+    fingerprint["noise_sigma"] = noise_sigma
+    return TraceCache.key_for(fingerprint)
 
 
 @dataclass(frozen=True)
@@ -235,9 +251,7 @@ class AnalysisEngine:
 
     def trace_key(self, spec: AnalysisSpec) -> str:
         """Cache key of the spec's identification trace."""
-        fingerprint = dict(spec.trace_fingerprint())
-        fingerprint["noise_sigma"] = self.noise_sigma
-        return TraceCache.key_for(fingerprint)
+        return trace_key(spec, self.noise_sigma)
 
     def trace_for(self, spec: AnalysisSpec) -> TrainingTrace:
         """The spec's simulated identification epoch, through the cache.
@@ -368,6 +382,28 @@ class AnalysisEngine:
             max_workers = min(len(specs), os.cpu_count() or 4)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(lambda s: self.run(s, projection), specs))
+
+    def run_sweep(
+        self,
+        sweep: "Any",
+        *,
+        mode: str = "process",
+        workers: int | None = None,
+        cache_dir: "str | None" = None,
+    ) -> "Any":
+        """Execute a :class:`~repro.api.parallel.SweepSpec` grid.
+
+        Process mode shares this engine's on-disk cache directory with
+        the workers (falling back to ``cache_dir`` or a per-sweep
+        temporary directory for memory-only caches); serial and thread
+        modes run on this engine directly.  See
+        :func:`repro.api.parallel.run_sweep`.
+        """
+        from repro.api.parallel import run_sweep
+
+        return run_sweep(
+            sweep, engine=self, mode=mode, workers=workers, cache_dir=cache_dir
+        )
 
 
 _DEFAULT_ENGINE: AnalysisEngine | None = None

@@ -173,15 +173,32 @@ _DEFAULT_BATCHING = {
 
 
 def default_dataset(network: str) -> str:
-    """The registered dataset a network trains on by default."""
+    """The registered dataset a network trains on by default.
+
+    Registered models the paper does not pair with a corpus (downstream
+    ``MODELS.register`` entries) have no default; requests for them
+    must name a dataset explicitly.
+    """
     MODELS.get(network)  # error with the available listing if unknown
-    return _DEFAULT_DATASET[network]
+    name = _DEFAULT_DATASET.get(network)
+    if name is None:
+        raise ConfigurationError(
+            f"model {network!r} has no default dataset; pass one explicitly "
+            f"(available: {', '.join(DATASETS.available())})"
+        )
+    return name
 
 
 def default_batching(network: str) -> str:
     """The registered batching policy a network uses by default."""
     MODELS.get(network)
-    return _DEFAULT_BATCHING[network]
+    name = _DEFAULT_BATCHING.get(network)
+    if name is None:
+        raise ConfigurationError(
+            f"model {network!r} has no default batching policy; pass one "
+            f"explicitly (available: {', '.join(BATCHING.available())})"
+        )
+    return name
 
 
 def dataset_pad_multiple(dataset: str) -> int:

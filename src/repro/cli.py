@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``repro configs``
     Print the Table II hardware configurations.
@@ -13,12 +13,20 @@ Four subcommands cover the common workflows:
     (inline flags or ``--spec spec.json``), simulate, select, and
     project onto the requested hardware configurations.
 
+``repro sweep --networks gnmt,ds2 [--seeds 0,1] [--workers 4]``
+    A whole grid of analyses (inline axis flags or ``--spec
+    sweep.json``), executed by the process-parallel sweep engine:
+    every unique epoch simulates once into a shared trace cache, then
+    per-point analyses fan out to worker processes.
+
 ``repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
     Regenerate paper tables/figures (all by default) and print (or
     write) the result tables.
 
 (``repro`` is the installed entry point; ``python -m repro`` works
-without installation.)
+without installation.)  Library failures — unknown registry names,
+malformed specs, bad files — exit with code 2 and a one-line message
+on stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from collections.abc import Sequence
 
 from repro.api.cache import TraceCache
 from repro.api.engine import AnalysisEngine, AnalysisResult, default_engine
+from repro.api.parallel import SWEEP_MODES, SweepRun, SweepSpec, run_sweep
 from repro.api.registry import BATCHING, DATASETS, MODELS, SELECTORS
 from repro.api.spec import AnalysisSpec, ProjectionSpec
 from repro.core.seqpoint import SeqPointSelector
@@ -119,6 +128,61 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist simulated traces to DIR and reuse them across runs",
+    )
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a grid of analyses on the process-parallel sweep engine",
+    )
+    sweep.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON SweepSpec file; mutually exclusive with inline axis flags",
+    )
+    sweep.add_argument(
+        "--networks", default=None,
+        help="comma-separated networks, e.g. gnmt,ds2",
+    )
+    sweep.add_argument(
+        "--scales", default=None,
+        help="comma-separated corpus scales in (0, 1] (default 0.1)",
+    )
+    sweep.add_argument(
+        "--configs", default=None,
+        help="comma-separated identification configs (default 1)",
+    )
+    sweep.add_argument(
+        "--seeds", default=None,
+        help="comma-separated data-order seeds (default 0)",
+    )
+    sweep.add_argument(
+        "--batch-sizes", default=None,
+        help="comma-separated batch sizes (default 64)",
+    )
+    sweep.add_argument(
+        "--selectors", default=None,
+        help="comma-separated selector names (default seqpoint); "
+        "selector kwargs need a --spec file",
+    )
+    sweep.add_argument(
+        "--targets", default=None,
+        help="comma-separated Table II configs to project every point "
+        "onto, or 'all' (default: each point's identification config)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count (default: all CPUs)",
+    )
+    sweep.add_argument(
+        "--mode", choices=SWEEP_MODES, default="process",
+        help="executor: process (default), thread, or serial",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared on-disk trace cache (default: a per-sweep temp dir)",
+    )
+    sweep.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default table)",
     )
 
     experiments = commands.add_parser(
@@ -301,10 +365,115 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"analyze: {exc}", file=sys.stderr)
         return 2
+    except KeyError as exc:
+        return _unknown_name("analyze", exc)
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(_render_analysis(result))
+    return 0
+
+
+def _unknown_name(command: str, exc: KeyError) -> int:
+    """One-line exit for registry ``KeyError``s from declarative specs.
+
+    Registry lookups raise :class:`ConfigurationError` for unknown
+    names, but downstream-registered components can still surface a
+    bare ``KeyError``; the spec-driven commands keep the one-line,
+    exit-2 contract for those too.  (Scoped to ``analyze``/``sweep``
+    deliberately — a blanket handler in ``main`` would silence genuine
+    bugs.)
+    """
+    name = exc.args[0] if exc.args else exc
+    print(f"{command}: unknown name: {name}", file=sys.stderr)
+    return 2
+
+
+def _split(raw: str) -> list[str]:
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    inline: dict[str, object] = {}
+    if args.networks is not None:
+        inline["networks"] = _split(args.networks)
+    try:
+        if args.scales is not None:
+            inline["scales"] = [float(t) for t in _split(args.scales)]
+        if args.configs is not None:
+            inline["configs"] = [int(t) for t in _split(args.configs)]
+        if args.seeds is not None:
+            inline["seeds"] = [int(t) for t in _split(args.seeds)]
+        if args.batch_sizes is not None:
+            inline["batch_sizes"] = [int(t) for t in _split(args.batch_sizes)]
+    except ValueError:
+        raise ReproError(
+            "sweep axis flags expect comma-separated numbers"
+        ) from None
+    if args.selectors is not None:
+        inline["selectors"] = _split(args.selectors)
+    if args.targets is not None:
+        inline["targets"] = _parse_targets(args.targets, 1)
+
+    if args.spec is not None:
+        if inline:
+            raise ReproError(
+                "--spec and inline sweep flags are mutually exclusive "
+                f"(got inline: {', '.join(sorted(inline))})"
+            )
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return SweepSpec.from_dict(json.load(handle))
+    if "networks" not in inline:
+        raise ReproError("sweep needs --networks (or --spec FILE)")
+    inline.setdefault("scales", [0.1])
+    return SweepSpec.from_dict(inline)
+
+
+def _render_sweep(run: SweepRun) -> str:
+    rows = []
+    for result in run.results:
+        spec = result.spec
+        worst = max(abs(p.error_pct) for p in result.projections)
+        rows.append(
+            [
+                spec.network, spec.scale, spec.batch_size, spec.config,
+                spec.seed, spec.selector, len(result),
+                result.k if result.k is not None else "-",
+                round(result.identification_error_pct, 3),
+                round(worst, 3),
+            ]
+        )
+    summary = (
+        f"{len(run)} analysis points, {run.unique_traces} unique traces, "
+        f"mode {run.mode} ({run.workers} workers)"
+    )
+    table = render_table(
+        ["network", "scale", "batch", "cfg", "seed", "selector",
+         "points", "k", "ident err %", "worst proj err %"],
+        rows,
+        title="sweep results",
+    )
+    return f"{summary}\n\n{table}"
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        sweep = _sweep_spec(args)
+        run = run_sweep(
+            sweep,
+            mode=args.mode,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        return _unknown_name("sweep", exc)
+    if args.format == "json":
+        print(json.dumps(run.to_dict(), indent=2))
+    else:
+        print(_render_sweep(run))
     return 0
 
 
@@ -337,10 +506,20 @@ def _cmd_experiments(scale: float, ids: str | None, output: str | None) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "configs":
-        return _cmd_configs()
-    if args.command == "identify":
-        return _cmd_identify(args.network, args.scale, args.threshold, args.format)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    return _cmd_experiments(args.scale, args.ids, args.output)
+    try:
+        if args.command == "configs":
+            return _cmd_configs()
+        if args.command == "identify":
+            return _cmd_identify(
+                args.network, args.scale, args.threshold, args.format
+            )
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_experiments(args.scale, args.ids, args.output)
+    except ReproError as exc:
+        # Deliberate library failures (bad ranges, unknown names) exit
+        # cleanly from every subcommand; genuine bugs still traceback.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2

@@ -9,6 +9,8 @@ batched GEMM.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import ConfigurationError, LoweringError
 from repro.hw.config import HardwareConfig
 from repro.kernels.elementwise import elementwise
@@ -27,20 +29,25 @@ class AttentionLayer(Layer):
         if hidden <= 0:
             raise ConfigurationError(f"{name}: hidden must be positive")
         self.hidden = hidden
-        self._src_steps: int | None = None
+        # Thread-local: the bound length is per-iteration scratch state,
+        # and models are shared across an engine's runners — concurrent
+        # lowering of different configs (run_many, sweep thread mode)
+        # must not see each other's bindings.
+        self._source = threading.local()
 
     def bind_source(self, src_steps: int) -> None:
         """Set the encoder length for the current iteration."""
         if src_steps <= 0:
             raise LoweringError(f"{self.name}: src_steps must be positive")
-        self._src_steps = src_steps
+        self._source.src_steps = src_steps
 
     def _require_source(self) -> int:
-        if self._src_steps is None:
+        src_steps = getattr(self._source, "src_steps", None)
+        if src_steps is None:
             raise LoweringError(
                 f"{self.name}: bind_source() must be called before lowering"
             )
-        return self._src_steps
+        return src_steps
 
     def forward(
         self, batch: int, steps: int, config: HardwareConfig

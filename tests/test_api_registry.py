@@ -125,3 +125,34 @@ class TestDefaults:
         assert isinstance(policy, SortaGradBatching)
         assert policy.pad_multiple == 4
         assert build_batching("pooled", 64, dataset="iwslt").pad_multiple == 1
+
+
+class TestUnpairedModels:
+    """Models registered downstream have no paper pairing: the defaults
+    must fail with a clean ConfigurationError, not a bare KeyError."""
+
+    def test_default_dataset_requires_pairing(self):
+        @MODELS.register("_orphan")
+        def _build():  # pragma: no cover - never invoked
+            raise AssertionError
+
+        try:
+            with pytest.raises(ConfigurationError, match="no default dataset"):
+                default_dataset("_orphan")
+            with pytest.raises(
+                ConfigurationError, match="no default batching"
+            ):
+                default_batching("_orphan")
+        finally:
+            MODELS._entries.pop("_orphan")
+
+    def test_error_lists_available_components(self):
+        @MODELS.register("_orphan2")
+        def _build():  # pragma: no cover - never invoked
+            raise AssertionError
+
+        try:
+            with pytest.raises(ConfigurationError, match="iwslt"):
+                default_dataset("_orphan2")
+        finally:
+            MODELS._entries.pop("_orphan2")
