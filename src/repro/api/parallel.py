@@ -22,6 +22,13 @@ epoch.  Results are bit-identical to looping
 :meth:`AnalysisEngine.run` serially over the expanded grid (asserted
 in ``tests/test_api_parallel.py``); ``benchmarks/bench_parallel_sweep.py``
 measures the wall-clock win.
+
+Below the trace cache, each worker process additionally shares the
+process-wide compiled-plan cache (:data:`repro.models.plan.PLAN_CACHE`)
+and the per-config measurement stores (:mod:`repro.hw.device`), so a
+worker that simulates several grid points lowers and times each unique
+``(model, shape, config)`` exactly once no matter how many points
+touch it.
 """
 
 from __future__ import annotations

@@ -18,10 +18,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.hw.config import HardwareConfig
 
-__all__ = ["TrafficProfile", "MemoryTraffic", "resolve_traffic", "capacity_factor"]
+__all__ = [
+    "TrafficProfile",
+    "MemoryTraffic",
+    "MemoryTrafficBatch",
+    "resolve_traffic",
+    "resolve_traffic_batch",
+    "capacity_factor",
+    "capacity_factor_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -44,12 +54,18 @@ class TrafficProfile:
     l2_working_set: float = 0.0
 
     def __post_init__(self) -> None:
+        # Direct checks, no getattr loop: this constructor runs once per
+        # unique kernel on the lowering hot path.
         if self.read_bytes < 0 or self.write_bytes < 0:
             raise ConfigurationError("traffic byte counts cannot be negative")
-        for name in ("l1_reuse_fraction", "l2_reuse_fraction"):
-            value = getattr(self, name)
-            if not 0.0 <= value <= 1.0:
-                raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+        if not 0.0 <= self.l1_reuse_fraction <= 1.0:
+            raise ConfigurationError(
+                f"l1_reuse_fraction must lie in [0, 1], got {self.l1_reuse_fraction}"
+            )
+        if not 0.0 <= self.l2_reuse_fraction <= 1.0:
+            raise ConfigurationError(
+                f"l2_reuse_fraction must lie in [0, 1], got {self.l2_reuse_fraction}"
+            )
         if self.l1_working_set < 0 or self.l2_working_set < 0:
             raise ConfigurationError("working sets cannot be negative")
 
@@ -129,6 +145,91 @@ def resolve_traffic(
         l2_read_bytes=l2_reads,
         dram_read_bytes=dram_reads,
         dram_write_bytes=profile.write_bytes,
+        l1_hit_rate=l1_hit_rate,
+        l2_hit_rate=l2_hit_rate,
+    )
+
+
+# -- vectorized (column) forms ----------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class MemoryTrafficBatch:
+    """Columns of :class:`MemoryTraffic`, one row per kernel."""
+
+    l1_read_bytes: np.ndarray
+    l2_read_bytes: np.ndarray
+    dram_read_bytes: np.ndarray
+    dram_write_bytes: np.ndarray
+    l1_hit_rate: np.ndarray
+    l2_hit_rate: np.ndarray
+
+    @property
+    def dram_bytes(self) -> np.ndarray:
+        """Total DRAM traffic (reads plus writes), per row."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def row(self, i: int) -> MemoryTraffic:
+        """Materialise one row as a scalar :class:`MemoryTraffic`."""
+        return MemoryTraffic(
+            l1_read_bytes=float(self.l1_read_bytes[i]),
+            l2_read_bytes=float(self.l2_read_bytes[i]),
+            dram_read_bytes=float(self.dram_read_bytes[i]),
+            dram_write_bytes=float(self.dram_write_bytes[i]),
+            l1_hit_rate=float(self.l1_hit_rate[i]),
+            l2_hit_rate=float(self.l2_hit_rate[i]),
+        )
+
+
+def capacity_factor_batch(working_set: np.ndarray, capacity: float) -> np.ndarray:
+    """Column form of :func:`capacity_factor` (capacity is one cache)."""
+    if capacity <= 0.0:
+        return np.zeros_like(working_set, dtype=np.float64)
+    # Guard the division; rows with an empty working set are replaced.
+    safe = np.where(working_set > 0.0, working_set, 1.0)
+    return np.where(
+        working_set <= 0.0, 1.0, np.minimum(1.0, capacity / safe)
+    )
+
+
+def resolve_traffic_batch(
+    read_bytes: np.ndarray,
+    write_bytes: np.ndarray,
+    l1_reuse_fraction: np.ndarray,
+    l1_working_set: np.ndarray,
+    l2_reuse_fraction: np.ndarray,
+    l2_working_set: np.ndarray,
+    config: HardwareConfig,
+) -> MemoryTrafficBatch:
+    """Column form of :func:`resolve_traffic`.
+
+    Mirrors the scalar function expression for expression so each row is
+    bit-identical to resolving that kernel's profile alone.
+    """
+    l1_capture = capacity_factor_batch(l1_working_set, config.l1_bytes)
+    if config.l1_enabled:
+        l1_hit_rate = l1_reuse_fraction * l1_capture
+    else:
+        l1_hit_rate = np.zeros_like(read_bytes, dtype=np.float64)
+
+    l2_reads = read_bytes * (1.0 - l1_hit_rate)
+
+    spilled_reuse = l1_reuse_fraction - l1_hit_rate
+    l2_candidate = np.minimum(1.0, l2_reuse_fraction + spilled_reuse)
+    l2_capture = capacity_factor_batch(
+        np.maximum(l2_working_set, l1_working_set), config.l2_bytes
+    )
+    if config.l2_enabled:
+        l2_hit_rate = l2_candidate * l2_capture
+    else:
+        l2_hit_rate = np.zeros_like(read_bytes, dtype=np.float64)
+
+    dram_reads = l2_reads * (1.0 - l2_hit_rate)
+    return MemoryTrafficBatch(
+        l1_read_bytes=np.asarray(read_bytes, dtype=np.float64),
+        l2_read_bytes=l2_reads,
+        dram_read_bytes=dram_reads,
+        dram_write_bytes=np.asarray(write_bytes, dtype=np.float64),
         l1_hit_rate=l1_hit_rate,
         l2_hit_rate=l2_hit_rate,
     )

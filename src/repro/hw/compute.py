@@ -20,10 +20,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.hw.config import HardwareConfig
 
-__all__ = ["ComputeProfile", "compute_time", "parallel_efficiency"]
+__all__ = [
+    "ComputeProfile",
+    "compute_time",
+    "parallel_efficiency",
+    "waves_batch",
+    "parallel_efficiency_batch",
+    "compute_time_batch",
+]
 
 #: Waves a CU needs in flight to hide its own pipeline latency.  Below
 #: this the kernel cannot reach its issue efficiency even when resident.
@@ -82,3 +91,54 @@ def compute_time(profile: ComputeProfile, config: HardwareConfig) -> float:
     efficiency = profile.issue_efficiency * parallel_efficiency(profile, config)
     achievable = config.peak_flops * max(efficiency, 1e-6)
     return profile.flops / achievable
+
+
+# -- vectorized (column) forms ----------------------------------------
+#
+# The batch functions below evaluate whole columns of kernels at once.
+# They mirror the scalar formulas operation for operation — same
+# expressions, same association, same tie handling — so their results
+# are bit-identical to looping the scalar versions (asserted in
+# tests/test_hw_batch.py).  All integer quantities stay exact in
+# float64: work-item and FLOP counts in the modelled networks are far
+# below 2**53.
+
+
+def waves_batch(work_items: np.ndarray, config: HardwareConfig) -> np.ndarray:
+    """Column form of :meth:`ComputeProfile.waves`."""
+    return np.maximum(1.0, work_items / config.wave_size)
+
+
+def parallel_efficiency_batch(
+    work_items: np.ndarray,
+    workgroup_size: np.ndarray,
+    config: HardwareConfig,
+) -> np.ndarray:
+    """Column form of :func:`parallel_efficiency`."""
+    wave_slots = config.num_cus * _LATENCY_HIDING_WAVES
+    occupancy = np.minimum(1.0, waves_batch(work_items, config) / wave_slots)
+
+    workgroups = np.maximum(1.0, np.ceil(work_items / workgroup_size))
+    rounds = np.ceil(workgroups / config.num_cus)
+    tail = workgroups / (rounds * config.num_cus)
+
+    return occupancy * tail
+
+
+def compute_time_batch(
+    flops: np.ndarray,
+    work_items: np.ndarray,
+    issue_efficiency: np.ndarray,
+    workgroup_size: np.ndarray,
+    config: HardwareConfig,
+) -> np.ndarray:
+    """Column form of :func:`compute_time`.
+
+    ``achievable`` is always positive, so a zero-FLOP kernel divides to
+    exactly ``+0.0`` — the same value the scalar early return produces.
+    """
+    efficiency = issue_efficiency * parallel_efficiency_batch(
+        work_items, workgroup_size, config
+    )
+    achievable = config.peak_flops * np.maximum(efficiency, 1e-6)
+    return flops / achievable

@@ -8,7 +8,7 @@ clock, cutting CUs to 16, and disabling L1 or L2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields as dataclass_fields, replace
 
 from repro.errors import ConfigurationError
 from repro.util.units import GHZ, KIB, MHZ, MIB, format_frequency
@@ -59,6 +59,25 @@ class HardwareConfig:
             raise ConfigurationError(f"{self.name}: cache sizes cannot be negative")
         if self.dram_bandwidth <= 0:
             raise ConfigurationError(f"{self.name}: dram_bandwidth must be positive")
+
+    def __hash__(self) -> int:
+        # Configs key every kernel-selection and measurement memo, and
+        # the generated hash tuples all 17 fields per lookup — cache it
+        # (instances are frozen).  Matches the generated hash: the
+        # tuple of all fields, in declaration order.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                tuple(getattr(self, field.name) for field in dataclass_fields(self))
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # Hash salting is per process: drop the cache when pickled.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
     @property
     def peak_flops(self) -> float:

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["CounterSet"]
+import numpy as np
+
+__all__ = ["CounterSet", "CounterColumns"]
 
 
 @dataclass(frozen=True)
@@ -69,3 +71,53 @@ class CounterSet:
     @staticmethod
     def zero() -> "CounterSet":
         return CounterSet()
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(CounterSet))
+
+
+@dataclass(frozen=True, eq=False)
+class CounterColumns:
+    """Columns of :class:`CounterSet`, one row per kernel invocation.
+
+    The vectorized timing engine emits these instead of materialising a
+    :class:`CounterSet` per kernel.  ``scaled`` is the column form of
+    :meth:`CounterSet.scaled`; :meth:`sum_sequential` reduces every
+    column with the same left-to-right accumulation the scalar
+    reference loop performs, so totals agree bit for bit.
+    """
+
+    valu_insts: np.ndarray
+    dram_read_bytes: np.ndarray
+    dram_write_bytes: np.ndarray
+    l2_read_bytes: np.ndarray
+    write_stall_cycles: np.ndarray
+    busy_cycles: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.valu_insts.size)
+
+    def scaled(self, factor: np.ndarray) -> "CounterColumns":
+        """Every column multiplied row-wise by ``factor``."""
+        return CounterColumns(
+            **{name: getattr(self, name) * factor for name in _FIELD_NAMES}
+        )
+
+    def row(self, i: int) -> CounterSet:
+        """Materialise one row as a scalar :class:`CounterSet`."""
+        return CounterSet(
+            **{name: float(getattr(self, name)[i]) for name in _FIELD_NAMES}
+        )
+
+    def sum_sequential(self) -> CounterSet:
+        """Left-fold every column, matching ``sum(rows, zero())``.
+
+        One stacked ``cumsum`` along the row axis folds all six columns
+        at once; each row of the stack accumulates left to right, so
+        every field matches the scalar accumulation loop bit for bit.
+        """
+        if len(self) == 0:
+            return CounterSet.zero()
+        stacked = np.stack([getattr(self, name) for name in _FIELD_NAMES])
+        folded = np.cumsum(stacked, axis=1)[:, -1]
+        return CounterSet(**dict(zip(_FIELD_NAMES, folded.tolist())))

@@ -5,18 +5,53 @@ uses to "run" kernels: it takes a :class:`~repro.hw.timing.WorkProfile`
 and returns a :class:`KernelMeasurement` (runtime, breakdown, counters)
 for its configuration.  Measurements are deterministic — the model is
 analytical — so a device can be shared freely.
+
+Measurements are memoised **per hardware configuration, not per device
+instance**: sweeps construct many :class:`GpuDevice` objects with equal
+(frozen, hashable) :class:`HardwareConfig` values, and re-timing every
+kernel on each of them is pure waste.  All devices at one config share
+one measurement store; devices at different configs never mix (the
+config value is the key).  :func:`measure_cache_info` exposes the
+shared store's hit/miss counters so tests can assert the sharing, and
+:func:`clear_measure_caches` resets every store (used by benchmarks to
+measure genuinely cold simulation).
+
+:meth:`GpuDevice.run_batch` is the vectorized entry point: it times a
+whole :class:`~repro.hw.timing.WorkBatch` column in one call, memoised
+by batch identity in the same shared per-config store.
+
+Stores live for the process (one per distinct config value, like the
+plan cache they sit under); batch entries are bounded with oldest-first
+eviction, and :func:`clear_measure_caches` drops everything for
+long-running processes that sweep many one-off configurations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from threading import Lock
+
+import numpy as np
 
 from repro.hw.config import HardwareConfig
-from repro.hw.counters import CounterSet
-from repro.hw.timing import TimingBreakdown, WorkProfile, time_work
+from repro.hw.counters import CounterColumns, CounterSet
+from repro.hw.timing import (
+    TimingBreakdown,
+    TimingBreakdownBatch,
+    WorkBatch,
+    WorkProfile,
+    time_work,
+    time_work_batch,
+)
 
-__all__ = ["GpuDevice", "KernelMeasurement"]
+__all__ = [
+    "GpuDevice",
+    "KernelMeasurement",
+    "BatchMeasurement",
+    "measure_cache_info",
+    "clear_measure_caches",
+]
 
 
 @dataclass(frozen=True)
@@ -28,19 +63,123 @@ class KernelMeasurement:
     counters: CounterSet
 
 
+@dataclass(frozen=True, eq=False)
+class BatchMeasurement:
+    """Measurements for a whole :class:`WorkBatch` column of kernels."""
+
+    time_s: np.ndarray
+    breakdown: TimingBreakdownBatch
+    counters: CounterColumns
+
+    def __len__(self) -> int:
+        return int(self.time_s.size)
+
+    def row(self, i: int) -> KernelMeasurement:
+        """Materialise one row as a scalar :class:`KernelMeasurement`."""
+        return KernelMeasurement(
+            time_s=float(self.time_s[i]),
+            breakdown=self.breakdown.row(i),
+            counters=self.counters.row(i),
+        )
+
+
+#: Batch measurements retained per config before oldest-first eviction.
+#: Far above any real plan population (a model has O(100) unique shapes
+#: per config); the bound only guards callers that mint throwaway
+#: ``WorkBatch`` objects, which would otherwise pin arrays forever.
+_MAX_BATCHES_PER_CONFIG = 8192
+
+
+class _ConfigMeasurements:
+    """The shared measurement store for one hardware configuration."""
+
+    def __init__(self, config: HardwareConfig):
+        self.measure = lru_cache(maxsize=65536)(
+            lambda work: KernelMeasurement(*time_work(work, config))
+        )
+        # Batches are frozen and deduplicated upstream (the plan cache
+        # hands out one object per unique plan), so identity keying is
+        # both correct and cheap.
+        self._config = config
+        self._batches: dict[WorkBatch, BatchMeasurement] = {}
+        self._batch_lock = Lock()
+
+    def measure_batch(self, work: WorkBatch) -> BatchMeasurement:
+        found = self._batches.get(work)  # lock-free fast path
+        if found is None:
+            # Compute outside the lock (pure and deterministic; a
+            # racing thread at worst duplicates work), then evict and
+            # insert under it so concurrent misses cannot trip over
+            # each other's dict mutations.
+            computed = BatchMeasurement(*time_work_batch(work, self._config))
+            with self._batch_lock:
+                if (
+                    len(self._batches) >= _MAX_BATCHES_PER_CONFIG
+                    and work not in self._batches
+                ):
+                    # Insertion-ordered dict: drop the oldest entry.
+                    # Worst case an evicted batch is re-measured.
+                    self._batches.pop(next(iter(self._batches)), None)
+                found = self._batches.setdefault(work, computed)
+        return found
+
+    def flush(self) -> None:
+        """Drop all measurements (counters included) in place.
+
+        In place matters: live devices keep their store reference, so
+        clearing must empty the shared store rather than replace it.
+        """
+        self.measure.cache_clear()
+        with self._batch_lock:
+            self._batches.clear()
+
+    @property
+    def batch_entries(self) -> int:
+        return len(self._batches)
+
+
+_STORES: dict[HardwareConfig, _ConfigMeasurements] = {}
+_STORES_LOCK = Lock()
+
+
+def _store_for(config: HardwareConfig) -> _ConfigMeasurements:
+    with _STORES_LOCK:
+        store = _STORES.get(config)
+        if store is None:
+            store = _STORES[config] = _ConfigMeasurements(config)
+        return store
+
+
+def measure_cache_info(config: HardwareConfig):
+    """Hit/miss counters of ``config``'s shared scalar measurement memo."""
+    return _store_for(config).measure.cache_info()
+
+
+def clear_measure_caches() -> None:
+    """Empty every shared measurement store (for cold benchmarking).
+
+    Stores are flushed *in place*, not discarded: live devices keep a
+    direct store reference, so replacing the registry entries would
+    orphan their (still warm) stores and desynchronise
+    :func:`measure_cache_info` from what devices actually use.
+    """
+    with _STORES_LOCK:
+        for store in _STORES.values():
+            store.flush()
+
+
 class GpuDevice:
     """A GPU at one hardware configuration.
 
     Work profiles are hashable, and models re-issue identical kernels
     thousands of times per epoch (every LSTM step launches the same
-    recurrent GEMM), so measurements are memoised per device.
+    recurrent GEMM), so measurements are memoised — in the store shared
+    by every device whose config equals this one.
     """
 
     def __init__(self, config: HardwareConfig):
         self._config = config
-        # Per-instance cache: bound lru_cache keeps measurements from
-        # leaking across devices with different configs.
-        self._measure = lru_cache(maxsize=65536)(self._measure_uncached)
+        self._store = _store_for(config)
 
     @property
     def config(self) -> HardwareConfig:
@@ -48,13 +187,11 @@ class GpuDevice:
 
     def run(self, work: WorkProfile) -> KernelMeasurement:
         """Execute ``work`` and return its measurement."""
-        return self._measure(work)
+        return self._store.measure(work)
 
-    def _measure_uncached(self, work: WorkProfile) -> KernelMeasurement:
-        time_s, breakdown, counters = time_work(work, self._config)
-        return KernelMeasurement(
-            time_s=time_s, breakdown=breakdown, counters=counters
-        )
+    def run_batch(self, work: WorkBatch) -> BatchMeasurement:
+        """Execute a whole column of kernels in one vectorized call."""
+        return self._store.measure_batch(work)
 
     def __repr__(self) -> str:
         return f"GpuDevice({self._config.describe()})"

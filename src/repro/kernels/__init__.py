@@ -9,11 +9,11 @@ lengths invoke different kernel sets (paper Fig 5) and shift the kernel
 runtime distribution (Figs 6 and 8).
 """
 
-from repro.kernels.base import KernelInvocation
-from repro.kernels.gemm import gemm, gemm_variants
+from repro.kernels.base import KernelInvocation, make_invocation
+from repro.kernels.gemm import clear_gemm_caches, gemm, gemm_variants
 from repro.kernels.elementwise import elementwise
 from repro.kernels.reduction import reduction
-from repro.kernels.conv import conv2d_im2col
+from repro.kernels.conv import _im2col, conv2d_im2col
 from repro.kernels.embedding import embedding_gather, embedding_scatter_grad
 from repro.kernels.memops import copy_transform
 from repro.kernels.registry import KernelRegistry, default_registry
@@ -30,4 +30,23 @@ __all__ = [
     "copy_transform",
     "KernelRegistry",
     "default_registry",
+    "clear_lowering_caches",
 ]
+
+
+def clear_lowering_caches() -> None:
+    """Drop every lowering-side memo in the kernel zoo.
+
+    Benchmarks that measure genuinely *cold* epoch simulation call this
+    (plus :func:`repro.hw.device.clear_measure_caches` and
+    ``PLAN_CACHE.clear()``) so no prior run's invocations, variant
+    races, or dispatch decisions leak into the measurement.
+    """
+    clear_gemm_caches()
+    make_invocation.cache_clear()
+    elementwise.cache_clear()
+    reduction.cache_clear()
+    copy_transform.cache_clear()
+    embedding_gather.cache_clear()
+    embedding_scatter_grad.cache_clear()
+    _im2col.cache_clear()

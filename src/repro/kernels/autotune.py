@@ -12,13 +12,20 @@ time a shape is seen and zero afterwards.  The training simulator adds
 that cost to the first epoch and the SeqPoint pipeline ignores it, as
 the paper prescribes (Key point: autotune runs once, so representative
 runs exclude it).
+
+``batched=True`` charges through the vectorized candidate race
+(:func:`repro.kernels.gemm.candidate_times`) instead of materialising
+and timing each candidate invocation in Python; the accumulated cost is
+bit-identical (the race rows are bit-identical per candidate and the
+reduction replays the reference loop's left-to-right accumulation).
 """
 
 from __future__ import annotations
 
 from repro.hw.config import HardwareConfig
 from repro.hw.timing import time_work
-from repro.kernels.gemm import GEMM_VARIANTS, build_gemm
+from repro.kernels.gemm import GEMM_VARIANTS, build_gemm, candidate_times
+from repro.util.stats import sequential_sum
 
 __all__ = ["Autotuner"]
 
@@ -28,22 +35,32 @@ _TRIALS_PER_VARIANT = 1
 _PRUNE_FACTOR = 4
 
 
-def _candidate_variants(m: int, n: int):
-    """Variants a library would actually try for this shape."""
+def _candidate_indices(m: int, n: int) -> list[int]:
+    """Indices into :data:`GEMM_VARIANTS` a library would try here."""
     feasible = [
-        variant
-        for variant in GEMM_VARIANTS
+        index
+        for index, variant in enumerate(GEMM_VARIANTS)
         if variant.tile_m <= m * _PRUNE_FACTOR
         and variant.tile_n <= n * _PRUNE_FACTOR
     ]
-    return feasible or list(GEMM_VARIANTS[-1:])
+    return feasible or [len(GEMM_VARIANTS) - 1]
+
+
+def _candidate_variants(m: int, n: int):
+    """Variants a library would actually try for this shape.
+
+    Derived from :func:`_candidate_indices` so the scalar and batched
+    autotune paths can never disagree on the pruning rule.
+    """
+    return [GEMM_VARIANTS[index] for index in _candidate_indices(m, n)]
 
 
 class Autotuner:
     """Tracks which GEMM shapes have been tuned on one device config."""
 
-    def __init__(self, config: HardwareConfig):
+    def __init__(self, config: HardwareConfig, batched: bool = False):
         self._config = config
+        self._batched = batched
         self._tuned: set[tuple[int, int, int]] = set()
         self._total_cost_s = 0.0
 
@@ -62,13 +79,27 @@ class Autotuner:
         if shape in self._tuned:
             return 0.0
         self._tuned.add(shape)
+        if self._batched:
+            cost = self._charge_batched(m, n, k)
+        else:
+            cost = self._charge_reference(m, n, k)
+        self._total_cost_s += cost
+        return cost
+
+    def _charge_reference(self, m: int, n: int, k: int) -> float:
+        """The scalar candidate loop — the bit-identity reference."""
         cost = 0.0
         for variant in _candidate_variants(m, n):
             candidate = build_gemm(variant, m, n, k)
             elapsed, _, _ = time_work(candidate.work, self._config)
             cost += elapsed * _TRIALS_PER_VARIANT
-        self._total_cost_s += cost
         return cost
+
+    def _charge_batched(self, m: int, n: int, k: int) -> float:
+        """Vectorized charge: one race over all variants, then the
+        pruned subset accumulated in reference (left-to-right) order."""
+        times = candidate_times(m, n, k, self._config)
+        return sequential_sum(times[_candidate_indices(m, n)] * _TRIALS_PER_VARIANT)
 
     def reset(self) -> None:
         """Forget all tuned shapes (a fresh process/training run)."""

@@ -15,6 +15,7 @@ once per time step) and the device can memoise their measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.hw.cache import TrafficProfile
 from repro.hw.compute import ComputeProfile
@@ -40,11 +41,30 @@ class KernelInvocation:
     def flops(self) -> float:
         return self.work.compute.flops
 
+    def __hash__(self) -> int:
+        # Schedules merge and plans compile by invocation equality, and
+        # the generated dataclass hash re-hashes three nested profile
+        # dataclasses on every lookup — cache it per (frozen) instance.
+        # Matches the generated hash: the tuple of all fields.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.name, self.op, self.group, self.shape, self.work))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # String hashes are salted per process: never ship a cached
+        # hash through pickle (e.g. to sweep workers).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def __repr__(self) -> str:
         dims = "x".join(str(d) for d in self.shape)
         return f"<{self.name} op={self.op} shape={dims}>"
 
 
+@lru_cache(maxsize=1 << 17)
 def make_invocation(
     name: str,
     op: str,
@@ -66,6 +86,11 @@ def make_invocation(
 
     Exists so the kernel family modules construct profiles in one
     consistent way instead of each nesting three dataclasses by hand.
+    Memoised: invocations are frozen values, every model re-requests
+    the same kernels each epoch, and the four nested dataclass
+    constructions are a measurable share of lowering time.  A cache hit
+    also returns the *identical* object, which lets schedule merging
+    and plan compilation short-circuit equality checks.
     """
     work = WorkProfile(
         compute=ComputeProfile(

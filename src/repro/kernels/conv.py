@@ -14,6 +14,7 @@ sizes scale with the utterance sequence length.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import LoweringError
 from repro.hw.config import HardwareConfig
@@ -66,6 +67,7 @@ class Conv2dShape:
         return self.batch * self.out_h * self.out_w
 
 
+@lru_cache(maxsize=1 << 14)
 def _im2col(shape: Conv2dShape) -> KernelInvocation:
     """The patch-expansion kernel: read once, write patch_size copies."""
     input_bytes = shape.batch * shape.c_in * shape.in_h * shape.in_w * FLOAT_BYTES

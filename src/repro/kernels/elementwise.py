@@ -9,6 +9,8 @@ element count and alignment — another source of the Fig 5 effect.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
 
 __all__ = ["elementwise"]
@@ -26,6 +28,7 @@ def _variant_name(op: str, elements: int, inner_dim: int) -> str:
     return f"ew_{op}_v{vector_width}_{grid_class}"
 
 
+@lru_cache(maxsize=1 << 16)
 def elementwise(
     op: str,
     elements: int,
@@ -37,6 +40,10 @@ def elementwise(
     inner_dim: int | None = None,
 ) -> KernelInvocation:
     """A pointwise kernel over ``elements`` values.
+
+    Memoised (pure in its arguments): pointwise kernels are requested
+    per layer per shape, and the hit path skips name formatting and
+    profile assembly on the lowering hot path.
 
     ``reads_per_element``/``writes_per_element`` count FP32 operands:
     an LSTM gate fusion reads four pre-activations plus the previous

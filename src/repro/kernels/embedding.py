@@ -11,11 +11,14 @@ time, so sampled runs must keep the full vocabulary.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
 
 __all__ = ["embedding_gather", "embedding_scatter_grad"]
 
 
+@lru_cache(maxsize=1 << 14)
 def embedding_gather(
     tokens: int, hidden: int, vocab: int, group: str = "embedding"
 ) -> KernelInvocation:
@@ -44,6 +47,7 @@ def embedding_gather(
     )
 
 
+@lru_cache(maxsize=1 << 14)
 def embedding_scatter_grad(
     tokens: int, hidden: int, vocab: int, group: str = "embedding"
 ) -> KernelInvocation:

@@ -9,6 +9,8 @@ is a visible fraction of the iteration.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
 
 __all__ = ["copy_transform"]
@@ -16,10 +18,14 @@ __all__ = ["copy_transform"]
 _KNOWN_TRANSFORMS = ("copy", "transpose", "concat", "pad", "slice")
 
 
+@lru_cache(maxsize=1 << 16)
 def copy_transform(
     transform: str, elements: int, group: str = "memops"
 ) -> KernelInvocation:
-    """A data-movement kernel over ``elements`` FP32 values."""
+    """A data-movement kernel over ``elements`` FP32 values.
+
+    Memoised (pure in its arguments), like the other kernel families.
+    """
     if transform not in _KNOWN_TRANSFORMS:
         raise ValueError(
             f"unknown transform {transform!r}; expected one of {_KNOWN_TRANSFORMS}"

@@ -8,6 +8,8 @@ long spans need multi-pass tree kernels — size-dependent names again.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.kernels.base import FLOAT_BYTES, KernelInvocation, make_invocation
 
 __all__ = ["reduction"]
@@ -25,6 +27,7 @@ def _variant_name(op: str, span: int) -> str:
     return f"reduce_{op}_warp"
 
 
+@lru_cache(maxsize=1 << 16)
 def reduction(
     op: str,
     rows: int,
@@ -33,7 +36,10 @@ def reduction(
     flops_per_element: float = 1.0,
     group: str = "reduce",
 ) -> KernelInvocation:
-    """Reduce ``rows`` independent spans of ``span`` elements each."""
+    """Reduce ``rows`` independent spans of ``span`` elements each.
+
+    Memoised (pure in its arguments), like the other kernel families.
+    """
     if rows <= 0 or span <= 0:
         raise ValueError(f"reduction needs positive rows/span, got {(rows, span)}")
     elements = rows * span

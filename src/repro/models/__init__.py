@@ -17,6 +17,7 @@ from repro.models.cnn import build_cnn
 from repro.models.convs2s import build_convs2s
 from repro.models.ds2 import build_ds2
 from repro.models.gnmt import build_gnmt
+from repro.models.plan import PLAN_CACHE, PlanCache, SchedulePlan, compile_plan
 from repro.models.schedule import KernelSchedule
 from repro.models.sequential import SequentialModel
 from repro.models.spec import IterationInputs, Model
@@ -29,6 +30,10 @@ __all__ = [
     "build_gnmt",
     "build_transformer",
     "KernelSchedule",
+    "SchedulePlan",
+    "compile_plan",
+    "PlanCache",
+    "PLAN_CACHE",
     "SequentialModel",
     "IterationInputs",
     "Model",

@@ -1,0 +1,213 @@
+"""Columnar kernel IR: the compiled, batchable form of a schedule.
+
+A :class:`~repro.models.schedule.KernelSchedule` is what lowering
+produces — an ordered list of per-invocation Python dataclasses.  That
+shape is convenient to build but expensive to *consume*: timing it
+means a Python loop over entries with per-entry hashing, dataclass
+construction, and counter arithmetic.  A :class:`SchedulePlan` is the
+same information compiled once into parallel numpy columns:
+
+* one row per **merged** entry (identical invocations coalesced with
+  summed counts, in first-appearance order — exactly
+  :meth:`KernelSchedule.merged`), carrying the ten
+  :class:`~repro.hw.timing.WorkBatch` work columns plus launch counts;
+* interned string tables for kernel-group and kernel-variant names,
+  with integer id columns (``group_id``/``name_id``) mapping rows onto
+  them;
+* the GEMM problem dims in original launch order (autotune accounting
+  follows launch order, not merged order).
+
+Plans are frozen; the batched executor times one with a single
+:meth:`~repro.hw.device.GpuDevice.run_batch` call and reduces with the
+same left-to-right accumulation the scalar reference loop performs, so
+results are bit-identical (asserted in tests/test_plan_equivalence.py).
+
+:class:`PlanCache` is the process-wide store keyed by
+``(model plan key, pass kind, batch, seq_len, tgt_len, hardware
+config)``.  Lowering is deterministic in exactly those inputs (the
+paper's Key Observation 4 as a structural property), so every executor,
+simulator, and sweep worker in the process shares one compiled plan per
+unique shape instead of re-lowering it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from threading import Lock
+
+import numpy as np
+
+from repro.hw.timing import WorkBatch
+from repro.models.schedule import KernelSchedule
+
+__all__ = ["SchedulePlan", "compile_plan", "PlanCache", "PLAN_CACHE"]
+
+
+@dataclass(frozen=True, eq=False)
+class SchedulePlan:
+    """Frozen columnar form of one lowered pass.
+
+    Compares by identity (``eq=False``): the :data:`PLAN_CACHE` hands
+    out one object per unique plan, which also lets the device memoise
+    batch measurements by plan identity.
+    """
+
+    work: WorkBatch
+    #: Launches per row (the merged entry's repeat count).
+    counts: np.ndarray
+    #: Row -> index into :attr:`groups` / :attr:`names`.
+    group_id: np.ndarray
+    name_id: np.ndarray
+    #: Interned tables, in first-appearance order over merged entries.
+    groups: tuple[str, ...]
+    names: tuple[str, ...]
+    #: GEMM problem dims in launch order (unmerged), for autotune cost.
+    gemm_shapes: tuple[tuple[int, int, int], ...]
+
+    def __len__(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def launch_count(self) -> int:
+        """Total kernel launches including per-step repetitions."""
+        return int(self.counts.sum())
+
+    @property
+    def total_flops(self) -> float:
+        return float((self.work.flops * self.counts).sum())
+
+
+def compile_plan(schedule: KernelSchedule) -> SchedulePlan:
+    """Compile a lowered schedule into its frozen columnar plan.
+
+    Merging runs in two passes: a vectorized pre-merge keyed on object
+    *identity* (kernel constructors are memoised, so repeated launches
+    of one kernel are almost always the same object — no hashing of
+    nested dataclasses, and the per-entry work is numpy grouping), then
+    an equality merge over the few surviving distinct objects.
+    First-appearance order is preserved through both and integer counts
+    add associatively, so the result coalesces exactly like
+    :meth:`KernelSchedule.merged`.
+    """
+    entries = list(schedule)
+    n = len(entries)
+    invocations = [entry[0] for entry in entries]
+    id_column = np.fromiter(map(id, invocations), np.int64, n)
+    count_column = np.fromiter((entry[1] for entry in entries), np.int64, n)
+
+    # Group by identity, ranked by first appearance (the dedupe_shapes
+    # idiom from repro.train.frame).
+    _, first_index, inverse = np.unique(
+        id_column, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    appearance = np.argsort(first_index, kind="stable")
+    rank = np.empty(appearance.size, dtype=np.int64)
+    rank[appearance] = np.arange(appearance.size)
+    object_row = rank[inverse]
+    # Integer-valued float sums below 2**53 are exact.
+    object_counts = np.bincount(
+        object_row, weights=count_column, minlength=appearance.size
+    ).astype(np.int64)
+    unique_invocations = [
+        invocations[i] for i in first_index[appearance].tolist()
+    ]
+
+    # Equality merge across distinct-but-equal objects (rare).
+    totals: dict = {}
+    rows: list = []
+    row_counts: list[int] = []
+    for position, invocation in enumerate(unique_invocations):
+        row = totals.get(invocation)
+        if row is None:
+            totals[invocation] = len(rows)
+            rows.append(invocation)
+            row_counts.append(int(object_counts[position]))
+        else:
+            row_counts[row] += int(object_counts[position])
+
+    # GEMM dims in launch order: a gemm invocation's shape IS (m, n, k).
+    is_gemm = np.fromiter(
+        (inv.op == "gemm" for inv in unique_invocations),
+        np.bool_,
+        len(unique_invocations),
+    )
+    shapes = [inv.shape for inv in unique_invocations]
+    gemm_entries = np.flatnonzero(is_gemm[object_row])
+    gemm_shapes = tuple(
+        shapes[position] for position in object_row[gemm_entries].tolist()
+    )
+
+    group_table: dict[str, int] = {}
+    name_table: dict[str, int] = {}
+    group_id = np.empty(len(rows), dtype=np.int64)
+    name_id = np.empty(len(rows), dtype=np.int64)
+    for row, invocation in enumerate(rows):
+        group_id[row] = group_table.setdefault(
+            invocation.group, len(group_table)
+        )
+        name_id[row] = name_table.setdefault(invocation.name, len(name_table))
+
+    return SchedulePlan(
+        work=WorkBatch.from_profiles([inv.work for inv in rows]),
+        counts=np.array(row_counts, dtype=np.int64),
+        group_id=group_id,
+        name_id=name_id,
+        groups=tuple(group_table),
+        names=tuple(name_table),
+        gemm_shapes=gemm_shapes,
+    )
+
+
+class PlanCache:
+    """Process-wide store of compiled plans, with hit/miss counters.
+
+    Thread-safe; compilation happens under the lock so every caller of
+    one key observes the *same* plan object (identity matters — the
+    device's batch-measurement memo keys on it).  Compiles are pure and
+    GIL-bound, so holding the lock costs no parallelism.
+    """
+
+    def __init__(self) -> None:
+        self._plans: dict[tuple, SchedulePlan] = {}
+        self._lock = Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compile(
+        self, key: tuple, build: Callable[[], SchedulePlan]
+    ) -> SchedulePlan:
+        """The plan under ``key``, compiling (and storing) it on a miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._hits += 1
+                return plan
+            self._misses += 1
+            plan = build()
+            self._plans[key] = plan
+            return plan
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def clear(self) -> None:
+        """Drop all plans and counters (for cold benchmarking)."""
+        with self._lock:
+            self._plans.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+#: The process-wide cache every executor and sweep worker shares.
+PLAN_CACHE = PlanCache()

@@ -36,8 +36,16 @@ class KernelSchedule:
         self._entries.append((invocation, count))
 
     def extend(self, entries: Iterable[tuple[KernelInvocation, int]]) -> None:
-        for invocation, count in entries:
-            self.add(invocation, count)
+        # Inlined add(): lowering funnels every kernel through here, so
+        # the per-entry method call is measurable on the epoch hot path.
+        append = self._entries.append
+        for entry in entries:
+            if entry[1] <= 0:
+                raise LoweringError(
+                    f"kernel count must be positive, got {entry[1]} "
+                    f"for {entry[0].name}"
+                )
+            append(entry)
 
     def __iter__(self) -> Iterator[tuple[KernelInvocation, int]]:
         return iter(self._entries)
@@ -75,3 +83,13 @@ class KernelSchedule:
             for inv, _ in self._entries
             if inv.op == "gemm"
         ]
+
+    def compiled(self):
+        """Compile into a frozen columnar :class:`~repro.models.plan.SchedulePlan`.
+
+        The plan merges identical invocations exactly like
+        :meth:`merged` and is what the batched timing pipeline consumes.
+        """
+        from repro.models.plan import compile_plan
+
+        return compile_plan(self)

@@ -13,12 +13,19 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from itertools import count
 
 from repro.errors import LoweringError
 from repro.hw.config import HardwareConfig
 from repro.models.schedule import KernelSchedule
 
 __all__ = ["IterationInputs", "Model"]
+
+#: Monotonic per-instance tokens for plan-cache keys.  Unlike ``id()``,
+#: a token is never reused after garbage collection, so a stale plan
+#: can never be served to a new model that happens to land on a
+#: recycled address.
+_PLAN_TOKENS = count()
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,20 @@ class Model(ABC):
 
     def __init__(self, name: str):
         self.name = name
+        self._plan_token = next(_PLAN_TOKENS)
+
+    def __getstate__(self):
+        # Tokens are only unique within one process: an unpickled model
+        # must draw a fresh one, or its plan_key() could collide with a
+        # locally constructed model in the receiving process and be
+        # served that model's compiled plans.
+        state = dict(self.__dict__)
+        state.pop("_plan_token", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._plan_token = next(_PLAN_TOKENS)
 
     @abstractmethod
     def lower_iteration(
@@ -74,6 +95,28 @@ class Model(ABC):
         CNNs override this to ``False`` — the Fig 3 distinction.
         """
         return True
+
+    def plan_key(self) -> tuple:
+        """Identity for the process-wide plan cache.
+
+        Two models with equal keys must lower identically for every
+        ``(inputs, config)`` pair.  The default is a per-instance token
+        — always correct, and plans still deduplicate everywhere it
+        matters because the analysis engine resolves one model instance
+        per scenario and shares it across configs, seeds, and sweep
+        points.  A subclass may override this with a *structural* tuple
+        (every hyperparameter lowering depends on) to additionally
+        share plans across separately constructed but identical models;
+        hashing a subset of the hyperparameters (e.g. a parameter count
+        alone, which misses head counts and similar shape-only knobs)
+        would silently serve one model's plans to another.
+        """
+        return (
+            type(self).__module__,
+            type(self).__qualname__,
+            self.name,
+            self._plan_token,
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -42,6 +42,7 @@ class InferenceRunSimulator:
         host_overhead_s: float = DEFAULT_SERVING_OVERHEAD_S,
         noise_sigma: float = 0.0,
         seed: int = 0,
+        batched: bool = True,
     ):
         if noise_sigma < 0:
             raise ConfigurationError("noise_sigma cannot be negative")
@@ -51,7 +52,11 @@ class InferenceRunSimulator:
         self.device = device
         self.noise_sigma = noise_sigma
         self.seed = seed
-        self.executor = IterationExecutor(model, device, host_overhead_s)
+        # ``batched=False`` keeps the scalar per-invocation reference
+        # measurement path (bit-identical; for equivalence tests).
+        self.executor = IterationExecutor(
+            model, device, host_overhead_s, batched=batched
+        )
 
     def _noise(self, index: int) -> float:
         if self.noise_sigma == 0.0:

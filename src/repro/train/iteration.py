@@ -5,6 +5,22 @@ iterations with the same padded lengths perform identical work, so a
 whole epoch only pays lowering cost once per unique (seq_len, tgt_len)
 pair — that is what makes full-epoch simulation cheap enough to treat
 as ground truth.
+
+Two measurement paths exist:
+
+* the default **batched** path compiles each schedule into a columnar
+  :class:`~repro.models.plan.SchedulePlan` (through the process-wide
+  :data:`~repro.models.plan.PLAN_CACHE`, so equal shapes are lowered
+  once per process, not once per executor) and times it with a single
+  vectorized :meth:`~repro.hw.device.GpuDevice.run_batch` call;
+* the **scalar** reference path (``batched=False``) walks the merged
+  schedule invocation by invocation, exactly as before the columnar
+  refactor.
+
+Both produce bit-identical :class:`IterationResult`\\ s — the batched
+reductions replay the scalar loop's left-to-right accumulation — which
+tests/test_plan_equivalence.py asserts across models, shapes, hardware
+configurations, and noise seeds.
 """
 
 from __future__ import annotations
@@ -13,8 +29,10 @@ from dataclasses import dataclass
 
 from repro.hw.counters import CounterSet
 from repro.hw.device import GpuDevice
+from repro.models.plan import PLAN_CACHE, SchedulePlan, compile_plan
 from repro.models.schedule import KernelSchedule
 from repro.models.spec import IterationInputs, Model
+from repro.util.stats import sequential_sum
 
 __all__ = ["IterationExecutor", "IterationResult"]
 
@@ -49,12 +67,14 @@ class IterationExecutor:
         model: Model,
         device: GpuDevice,
         host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
+        batched: bool = True,
     ):
         if host_overhead_s < 0:
             raise ValueError("host_overhead_s cannot be negative")
         self.model = model
         self.device = device
         self.host_overhead_s = host_overhead_s
+        self.batched = batched
         self._train_cache: dict[tuple[int, int, int | None], IterationResult] = {}
         self._fwd_cache: dict[tuple[int, int, int | None], IterationResult] = {}
 
@@ -62,6 +82,7 @@ class IterationExecutor:
         return (inputs.batch, inputs.seq_len, inputs.tgt_len)
 
     def _measure(self, schedule: KernelSchedule) -> IterationResult:
+        """Scalar reference: per-invocation measurement and accumulation."""
         time_s = self.host_overhead_s
         launches = 0
         counters = CounterSet.zero()
@@ -86,18 +107,69 @@ class IterationExecutor:
             gemm_shapes=tuple(schedule.gemm_shapes()),
         )
 
+    def _measure_plan(self, plan: SchedulePlan) -> IterationResult:
+        """Batched path: one device call, columnar reductions.
+
+        Every reduction is a left fold in merged-entry order (via
+        :func:`~repro.util.stats.sequential_sum`), replaying the scalar
+        loop's accumulation bit for bit.
+        """
+        measurement = self.device.run_batch(plan.work)
+        contrib = measurement.time_s * plan.counts
+        group_times: dict[str, float] = {}
+        for gid, group in enumerate(plan.groups):
+            group_times[group] = sequential_sum(contrib[plan.group_id == gid])
+        return IterationResult(
+            time_s=sequential_sum(contrib, initial=self.host_overhead_s),
+            launches=int(plan.counts.sum()),
+            counters=measurement.counters.scaled(plan.counts).sum_sequential(),
+            group_times=group_times,
+            kernel_names=frozenset(plan.names),
+            gemm_shapes=plan.gemm_shapes,
+        )
+
+    def _plan_for(self, inputs: IterationInputs, kind: str) -> SchedulePlan:
+        """This shape's compiled plan, through the process-wide cache."""
+        config = self.device.config
+        key = (
+            self.model.plan_key(),
+            kind,
+            inputs.batch,
+            inputs.seq_len,
+            inputs.tgt_len,
+            config,
+        )
+        lower = (
+            self.model.lower_iteration
+            if kind == "train"
+            else self.model.lower_forward
+        )
+        return PLAN_CACHE.get_or_compile(
+            key, lambda: compile_plan(lower(inputs, config))
+        )
+
     def run(self, inputs: IterationInputs) -> IterationResult:
         """One full training iteration (forward + backward + update)."""
         key = self._key(inputs)
         if key not in self._train_cache:
-            schedule = self.model.lower_iteration(inputs, self.device.config)
-            self._train_cache[key] = self._measure(schedule)
+            if self.batched:
+                result = self._measure_plan(self._plan_for(inputs, "train"))
+            else:
+                result = self._measure(
+                    self.model.lower_iteration(inputs, self.device.config)
+                )
+            self._train_cache[key] = result
         return self._train_cache[key]
 
     def run_forward(self, inputs: IterationInputs) -> IterationResult:
         """One forward-only (evaluation) pass."""
         key = self._key(inputs)
         if key not in self._fwd_cache:
-            schedule = self.model.lower_forward(inputs, self.device.config)
-            self._fwd_cache[key] = self._measure(schedule)
+            if self.batched:
+                result = self._measure_plan(self._plan_for(inputs, "forward"))
+            else:
+                result = self._measure(
+                    self.model.lower_forward(inputs, self.device.config)
+                )
+            self._fwd_cache[key] = result
         return self._fwd_cache[key]

@@ -22,6 +22,13 @@ is bit-identical to the per-iteration reference path, which is kept as
 
 Optional multiplicative log-normal noise models run-to-run measurement
 jitter on real hardware; it is off by default so tests are exact.
+
+Orthogonally to the columnar *trace* layout, the kernel-walk itself has
+two implementations: the default batched pipeline (columnar
+:class:`~repro.models.plan.SchedulePlan` per shape, one vectorized
+device call, vectorized autotune candidate racing) and the scalar
+per-invocation reference selected with ``batched=False`` — also
+bit-identical, and the baseline of ``benchmarks/bench_kernel_timing.py``.
 """
 
 from __future__ import annotations
@@ -108,6 +115,7 @@ class TrainingRunSimulator:
         noise_sigma: float = 0.0,
         seed: int = 0,
         noise_seed: int | None = None,
+        batched: bool = True,
     ):
         if noise_sigma < 0:
             raise ConfigurationError("noise_sigma cannot be negative")
@@ -122,8 +130,14 @@ class TrainingRunSimulator:
         # the data order: it gets its own seed so two runs of the same
         # epoch plan on different hardware have independent noise.
         self.noise_seed = seed if noise_seed is None else noise_seed
-        self.executor = IterationExecutor(model, device, host_overhead_s)
-        self._autotuner = Autotuner(device.config)
+        # ``batched=False`` selects the scalar reference pipeline end to
+        # end (per-invocation measurement loop and scalar autotune
+        # candidate timing) — bit-identical, kept for equivalence tests
+        # and benchmarks/bench_kernel_timing.py.
+        self.executor = IterationExecutor(
+            model, device, host_overhead_s, batched=batched
+        )
+        self._autotuner = Autotuner(device.config, batched=batched)
         # Iteration shapes whose GEMM shapes have all been charged:
         # re-charging would contribute exactly 0.0, so the columnar
         # path skips the whole charge loop for them.

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 __all__ = [
     "weighted_sum",
     "weighted_average",
@@ -18,7 +20,24 @@ __all__ = [
     "mean",
     "median",
     "percent_error",
+    "sequential_sum",
 ]
+
+
+def sequential_sum(values: np.ndarray, initial: float = 0.0) -> float:
+    """Strict left-to-right float64 sum: ``((initial + v0) + v1) + ...``.
+
+    ``np.sum`` uses pairwise summation, which groups additions
+    differently from an accumulator loop and so produces different
+    low-order bits.  The batched simulation paths must reproduce the
+    scalar reference's Python accumulation exactly, and ``np.cumsum``
+    is a running (left-fold) accumulation, so its last element is the
+    loop's result bit for bit.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return float(initial)
+    return float(np.cumsum(np.concatenate(((initial,), values)))[-1])
 
 
 def weighted_sum(values: Sequence[float], weights: Sequence[float]) -> float:

@@ -1,8 +1,32 @@
 """Unit tests for repro.hw.counters."""
 
+import numpy as np
 import pytest
 
-from repro.hw.counters import CounterSet
+from repro.hw.counters import CounterColumns, CounterSet
+
+
+def _counter(seed: int) -> CounterSet:
+    """Counters whose values are exact in float64 (powers of two), so
+    the algebraic identities below hold bitwise, not just approximately."""
+    base = float(1 << (seed % 20))
+    return CounterSet(
+        valu_insts=base,
+        dram_read_bytes=base * 2.0,
+        dram_write_bytes=base * 0.5,
+        l2_read_bytes=base * 4.0,
+        write_stall_cycles=base * 0.25,
+        busy_cycles=base * 8.0,
+    )
+
+
+def _columns(counters: list[CounterSet]) -> CounterColumns:
+    return CounterColumns(
+        **{
+            name: np.array([getattr(c, name) for c in counters])
+            for name in CounterSet().as_dict()
+        }
+    )
 
 
 class TestCounterSet:
@@ -40,3 +64,72 @@ class TestCounterSet:
     def test_add_rejects_other_types(self):
         with pytest.raises(TypeError):
             CounterSet() + 5
+
+
+class TestCounterAlgebra:
+    """Identities the vectorized counter path relies on.
+
+    The batched pipeline reorders *which object* performs each
+    operation (columns instead of per-kernel sets) but never the
+    operations themselves; these identities pin down the algebra that
+    makes that reordering safe.
+    """
+
+    def test_zero_is_both_side_identity(self):
+        a = _counter(7)
+        assert a + CounterSet.zero() == a
+        assert CounterSet.zero() + a == a
+
+    def test_addition_associative_exactly(self):
+        a, b, c = _counter(3), _counter(5), _counter(11)
+        assert (a + b) + c == a + (b + c)
+
+    def test_scaled_distributes_over_addition(self):
+        a, b = _counter(4), _counter(9)
+        for factor in (2.0, 0.5, 8.0):
+            assert (a + b).scaled(factor) == a.scaled(factor) + b.scaled(factor)
+
+    def test_scaled_one_is_identity_and_zero_annihilates(self):
+        a = _counter(6)
+        assert a.scaled(1.0) == a
+        assert a.scaled(0.0) == CounterSet.zero()
+
+
+class TestCounterColumns:
+    def test_row_round_trips(self):
+        counters = [_counter(i) for i in range(5)]
+        columns = _columns(counters)
+        assert len(columns) == 5
+        for i, reference in enumerate(counters):
+            assert columns.row(i) == reference
+
+    def test_scaled_matches_rowwise_scaling(self):
+        counters = [_counter(i) for i in range(4)]
+        factors = np.array([1.0, 2.0, 0.5, 4.0])
+        scaled = _columns(counters).scaled(factors)
+        for i, reference in enumerate(counters):
+            assert scaled.row(i) == reference.scaled(float(factors[i]))
+
+    def test_sum_sequential_matches_reference_fold(self):
+        """The exact loop the scalar executor performs: a left fold
+        from ``CounterSet.zero()`` — including awkward magnitudes where
+        pairwise summation would round differently."""
+        rng = np.random.default_rng(42)
+        counters = [
+            CounterSet(
+                **{
+                    name: float(value)
+                    for name, value in zip(
+                        CounterSet().as_dict(), rng.uniform(0, 1e12, 6)
+                    )
+                }
+            )
+            for _ in range(257)
+        ]
+        folded = CounterSet.zero()
+        for item in counters:
+            folded = folded + item
+        assert _columns(counters).sum_sequential() == folded
+
+    def test_sum_sequential_of_empty_is_zero(self):
+        assert _columns([]).sum_sequential() == CounterSet.zero()
