@@ -1,0 +1,66 @@
+"""Streaming identification: stop logging as soon as SeqPoints stabilise.
+
+The batch workflow (see ``quickstart.py``) logs a complete epoch before
+identifying SeqPoints.  The streaming engine consumes iterations *as
+they arrive* and stops once the selection is stable:
+
+1. describe the run as data — a :class:`StreamSpec` wrapping the usual
+   :class:`AnalysisSpec` plus the convergence knobs (JSON-serializable,
+   same as every other spec);
+2. the engine replays the scenario's (cached) epoch as a simulated live
+   feed, absorbs it into incremental per-SL statistics that are
+   bit-identical to the batch group-by, and re-runs the selector every
+   ``cadence`` iterations;
+3. convergence fires when the selected SL set and the projected mean
+   iteration time hold still for ``patience`` consecutive checks — a
+   drift guard resets the window if any SL's mean runtime shifts.
+
+Run:  python examples/streaming_identification.py
+"""
+
+import json
+
+from repro import AnalysisSpec, StreamSpec, default_engine
+from repro.util.units import format_duration
+
+# GNMT on its paper pipeline, paper-sized corpus.  Cadence 100 matches
+# the pooled-bucketing pool period, so each check sees one more pool.
+spec = StreamSpec(
+    analysis=AnalysisSpec(network="gnmt", scale=1.0),
+    cadence=100,
+    patience=3,
+    rtol=0.02,
+    drift_rtol=0.1,
+    sl_rtol=0.2,
+    chunk_size=7,
+)
+print("request:", json.dumps(spec.to_dict()))
+
+engine = default_engine()
+result = engine.run_streaming(spec)
+
+status = "converged" if result.converged else "ran out of stream"
+print(f"\n{status} after {result.iterations_consumed} of "
+      f"{result.epoch_iterations} iterations "
+      f"({100 * result.fraction_consumed:.1f}% of the epoch), "
+      f"{len(result.checks)} selector re-runs")
+
+print(f"SeqPoints ({len(result)} iterations, k={result.k} bins):")
+for point in result.points:
+    print(f"  SL {point.seq_len:>4}  weight {point.weight:>6.0f} iterations")
+
+print(f"\nprojected epoch {format_duration(result.projected_epoch_time_s)} "
+      f"vs actual {format_duration(result.actual_total_s)} "
+      f"-> error {result.projection_error_pct:.3f}%")
+print(f"batch analysis of the full epoch agrees: "
+      f"{result.matches_batch_selection} "
+      f"(batch identification error "
+      f"{result.batch_identification_error_pct:.3f}%)")
+
+# The convergence history, check by check.
+print("\ncheck history:")
+for check in result.checks:
+    flags = " drift-reset" if check.drift_reset else ""
+    print(f"  it {check.iterations:>5}: {len(check.selected)} points, "
+          f"mean {check.projected_mean_iteration_s * 1e3:7.2f} ms, "
+          f"stable x{check.stable_checks}{flags}")

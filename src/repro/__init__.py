@@ -53,6 +53,7 @@ from repro.api import (
     AnalysisResult,
     AnalysisSpec,
     ProjectionSpec,
+    StreamingAnalysisResult,
     TraceCache,
     default_engine,
 )
@@ -90,16 +91,27 @@ from repro.models import (
 )
 from repro.profiling import Profiler, ProfilingCostModel
 from repro.profiling.export import export_selection, load_manifest
+from repro.stream import (
+    StreamSpec,
+    StreamingIdentifier,
+    StreamingSlStatistics,
+    TraceReplayFeed,
+)
 from repro.train import TrainingRunSimulator, TrainingTrace
 from repro.train.inference import InferenceRunSimulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisEngine",
     "AnalysisResult",
     "AnalysisSpec",
     "ProjectionSpec",
+    "StreamingAnalysisResult",
+    "StreamSpec",
+    "StreamingIdentifier",
+    "StreamingSlStatistics",
+    "TraceReplayFeed",
     "TraceCache",
     "default_engine",
     "FrequentSelector",

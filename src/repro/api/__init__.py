@@ -34,6 +34,7 @@ from repro.api.engine import (
     ConfigProjection,
     ResolvedAnalysis,
     SelectedPointSummary,
+    StreamingAnalysisResult,
     default_engine,
     trace_key,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ConfigProjection",
     "ResolvedAnalysis",
     "SelectedPointSummary",
+    "StreamingAnalysisResult",
     "SweepPlan",
     "SweepRun",
     "SweepSpec",

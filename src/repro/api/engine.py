@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field as dataclass_field, replace
 from threading import Lock
 from typing import Any
 
@@ -37,6 +37,7 @@ from repro.core.projection import (
 from repro.core.selection import Selection
 from repro.core.seqpoint import SeqPointResult
 from repro.data.batching import BatchingPolicy
+from repro.errors import ConfigurationError
 from repro.data.dataset import SequenceDataset
 from repro.hw.config import paper_config
 from repro.hw.device import GpuDevice
@@ -51,6 +52,7 @@ __all__ = [
     "AnalysisResult",
     "ConfigProjection",
     "SelectedPointSummary",
+    "StreamingAnalysisResult",
     "ResolvedAnalysis",
     "default_engine",
     "trace_key",
@@ -183,6 +185,68 @@ class AnalysisResult:
             "projected_total_s": self.projected_total_s,
             "actual_total_s": self.actual_total_s,
             "projections": [p.to_dict() for p in self.projections],
+        }
+
+
+@dataclass(frozen=True)
+class StreamingAnalysisResult:
+    """One online identification, with its full-epoch ground truth.
+
+    The streaming path consumed ``iterations_consumed`` of the
+    ``epoch_iterations``-long logged epoch; ``projected_epoch_time_s``
+    extrapolates the converged prefix projection to the full epoch and
+    ``projection_error_pct`` scores it against the epoch's actual
+    time — the number the paper's threshold ``e`` bounds for the batch
+    pipeline.  ``matches_batch_selection`` reports whether the early
+    stop selected the same ``(seq_len, tgt_len)`` set the batch
+    analysis of the complete epoch picks.
+    """
+
+    spec: "Any"  # StreamSpec (typed loosely to keep the import lazy)
+    converged: bool
+    iterations_consumed: int
+    epoch_iterations: int
+    checks: tuple["Any", ...]
+    points: tuple[SelectedPointSummary, ...]
+    k: int | None
+    identification_error_pct: float
+    projected_epoch_time_s: float
+    actual_total_s: float
+    projection_error_pct: float
+    matches_batch_selection: bool
+    batch_identification_error_pct: float
+    selection: Selection = dataclass_field(repr=False)
+
+    @property
+    def method(self) -> str:
+        return self.selection.method
+
+    @property
+    def fraction_consumed(self) -> float:
+        return self.iterations_consumed / self.epoch_iterations
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "method": self.method,
+            "converged": self.converged,
+            "iterations_consumed": self.iterations_consumed,
+            "epoch_iterations": self.epoch_iterations,
+            "fraction_consumed": self.fraction_consumed,
+            "checks": [check.to_dict() for check in self.checks],
+            "points": [point.to_dict() for point in self.points],
+            "k": self.k,
+            "identification_error_pct": self.identification_error_pct,
+            "projected_epoch_time_s": self.projected_epoch_time_s,
+            "actual_total_s": self.actual_total_s,
+            "projection_error_pct": self.projection_error_pct,
+            "matches_batch_selection": self.matches_batch_selection,
+            "batch_identification_error_pct": (
+                self.batch_identification_error_pct
+            ),
         }
 
 
@@ -395,6 +459,60 @@ class AnalysisEngine:
         from repro.models.plan import PLAN_CACHE
 
         return PLAN_CACHE.stats()
+
+    def run_streaming(self, stream: "Any") -> StreamingAnalysisResult:
+        """Execute a :class:`~repro.stream.spec.StreamSpec` online.
+
+        The scenario's cached epoch trace replays as a simulated live
+        feed (chunked per the spec); the identifier consumes it until
+        the selection stabilises, then the converged prefix projection
+        is scored against the full epoch and against the batch analysis
+        of the same spec (which shares the cached trace, so the ground
+        truth costs no extra simulation).
+        """
+        from repro.stream.feed import TraceReplayFeed
+        from repro.stream.spec import StreamSpec
+        from repro.stream.stats import StreamingSlStatistics
+
+        if not isinstance(stream, StreamSpec):
+            raise ConfigurationError(
+                f"run_streaming expects a StreamSpec, got {type(stream).__name__}"
+            )
+        frame = self.frame_for(stream.analysis)
+        feed = TraceReplayFeed(frame, chunk_size=stream.chunk_size)
+        run = stream.build_identifier().run(
+            feed, stats=StreamingSlStatistics.for_frame(frame)
+        )
+        projected_epoch = run.project_epoch_time(len(frame))
+        batch = self.run(stream.analysis)
+        selected = {(p.seq_len, p.tgt_len) for p in run.selection.points}
+        batch_selected = {(p.seq_len, p.tgt_len) for p in batch.points}
+        return StreamingAnalysisResult(
+            spec=stream,
+            converged=run.converged,
+            iterations_consumed=run.iterations_consumed,
+            epoch_iterations=len(frame),
+            checks=run.checks,
+            points=tuple(
+                SelectedPointSummary(
+                    seq_len=point.seq_len,
+                    tgt_len=point.tgt_len,
+                    weight=point.weight,
+                    time_s=point.record.time_s,
+                )
+                for point in run.selection.points
+            ),
+            k=run.k,
+            identification_error_pct=run.identification_error_pct,
+            projected_epoch_time_s=projected_epoch,
+            actual_total_s=frame.total_time_s,
+            projection_error_pct=percent_error(
+                projected_epoch, frame.total_time_s
+            ),
+            matches_batch_selection=selected == batch_selected,
+            batch_identification_error_pct=batch.identification_error_pct,
+            selection=run.selection,
+        )
 
     def run_sweep(
         self,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 ``repro configs``
     Print the Table II hardware configurations.
@@ -18,6 +18,13 @@ Five subcommands cover the common workflows:
     sweep.json``), executed by the process-parallel sweep engine:
     every unique epoch simulates once into a shared trace cache, then
     per-point analyses fan out to worker processes.
+
+``repro stream --network gnmt [--cadence 100] [--patience 3]``
+    Online identification: replay the scenario's epoch as a simulated
+    live feed, re-run the selector on a cadence, and stop as soon as
+    the selection stabilises — reporting iterations consumed vs the
+    epoch length and the projection error vs the full-trace ground
+    truth.
 
 ``repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
     Regenerate paper tables/figures (all by default) and print (or
@@ -37,7 +44,12 @@ import sys
 from collections.abc import Sequence
 
 from repro.api.cache import TraceCache
-from repro.api.engine import AnalysisEngine, AnalysisResult, default_engine
+from repro.api.engine import (
+    AnalysisEngine,
+    AnalysisResult,
+    StreamingAnalysisResult,
+    default_engine,
+)
 from repro.api.parallel import SWEEP_MODES, SweepRun, SweepSpec, run_sweep
 from repro.api.registry import BATCHING, DATASETS, MODELS, SELECTORS
 from repro.api.spec import AnalysisSpec, ProjectionSpec
@@ -46,6 +58,7 @@ from repro.errors import ReproError
 from repro.experiments import registry
 from repro.experiments.setups import epoch_trace
 from repro.hw.config import PAPER_CONFIGS
+from repro.stream.spec import StreamSpec
 from repro.util.tables import render_table
 from repro.util.units import format_duration
 
@@ -185,6 +198,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default table)",
     )
 
+    stream = commands.add_parser(
+        "stream",
+        help="online identification over a simulated live feed",
+    )
+    stream.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON StreamSpec file; mutually exclusive with inline flags",
+    )
+    stream.add_argument("--network", choices=MODELS.available())
+    stream.add_argument(
+        "--dataset", choices=DATASETS.available(),
+        help="corpus (default: the network's paper dataset)",
+    )
+    stream.add_argument(
+        "--batching", choices=BATCHING.available(),
+        help="input pipeline (default: the network's paper pipeline)",
+    )
+    stream.add_argument("--batch-size", type=int, default=None)
+    stream.add_argument(
+        "--config", type=int, default=None,
+        help="Table II config the streamed epoch runs on (default 1)",
+    )
+    stream.add_argument(
+        "--scale", type=float, default=None,
+        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
+    )
+    stream.add_argument("--seed", type=int, default=None)
+    stream.add_argument("--selector", choices=SELECTORS.available())
+    stream.add_argument(
+        "--selector-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="selector keyword argument (repeatable)",
+    )
+    stream.add_argument(
+        "--cadence", type=int, default=None,
+        help="iterations between selector re-runs (default 64)",
+    )
+    stream.add_argument(
+        "--patience", type=int, default=None,
+        help="consecutive agreeing checks to converge (default 3)",
+    )
+    stream.add_argument(
+        "--rtol", type=float, default=None,
+        help="relative tolerance on the projected mean iteration time "
+        "(default 0.005)",
+    )
+    stream.add_argument(
+        "--drift-rtol", type=float, default=None,
+        help="per-SL mean drift that resets the window (default 0.02)",
+    )
+    stream.add_argument(
+        "--sl-rtol", type=float, default=None,
+        help="pointwise SL tolerance between checks; 0 = exact "
+        "(default 0.1)",
+    )
+    stream.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="arrival granularity of the replayed feed (default 1)",
+    )
+    stream.add_argument(
+        "--min-iterations", type=int, default=None,
+        help="iterations to consume before the first check (default 0)",
+    )
+    stream.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default table)",
+    )
+    stream.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulated traces to DIR and reuse them across runs",
+    )
+
     experiments = commands.add_parser(
         "experiments", help="regenerate paper tables and figures"
     )
@@ -284,7 +368,8 @@ def _parse_targets(raw: str | None, fallback: int) -> tuple[int, ...]:
     return targets
 
 
-def _analyze_spec(args: argparse.Namespace) -> AnalysisSpec:
+def _inline_analysis(args: argparse.Namespace) -> dict[str, object]:
+    """The inline AnalysisSpec fields a command was given, as a dict."""
     inline = {
         "network": args.network,
         "dataset": args.dataset,
@@ -299,6 +384,11 @@ def _analyze_spec(args: argparse.Namespace) -> AnalysisSpec:
     selector_kwargs = _parse_selector_args(args.selector_arg)
     if selector_kwargs:
         inline["selector_kwargs"] = selector_kwargs
+    return inline
+
+
+def _analyze_spec(args: argparse.Namespace) -> AnalysisSpec:
+    inline = _inline_analysis(args)
 
     if args.spec is not None:
         if inline:
@@ -371,6 +461,92 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(_render_analysis(result))
+    return 0
+
+
+def _stream_spec(args: argparse.Namespace) -> StreamSpec:
+    inline = _inline_analysis(args)
+    knobs = {
+        "cadence": args.cadence,
+        "patience": args.patience,
+        "rtol": args.rtol,
+        "drift_rtol": args.drift_rtol,
+        "sl_rtol": args.sl_rtol,
+        "chunk_size": args.chunk_size,
+        "min_iterations": args.min_iterations,
+    }
+    knobs = {key: value for key, value in knobs.items() if value is not None}
+
+    if args.spec is not None:
+        if inline or knobs:
+            raise ReproError(
+                "--spec and inline stream flags are mutually exclusive "
+                f"(got inline: {', '.join(sorted({**inline, **knobs}))})"
+            )
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return StreamSpec.from_dict(json.load(handle))
+    if "network" not in inline:
+        raise ReproError("stream needs --network (or --spec FILE)")
+    inline.setdefault("scale", 0.1)
+    return StreamSpec(analysis=AnalysisSpec.from_dict(inline), **knobs)
+
+
+def _render_stream(result: StreamingAnalysisResult) -> str:
+    spec = result.spec.analysis
+    status = (
+        f"converged after {len(result.checks)} checks"
+        if result.converged
+        else "stream exhausted without convergence"
+    )
+    parts = [
+        f"{spec.network} on {spec.dataset} ({spec.batching}, "
+        f"batch {spec.batch_size}, scale {spec.scale}, "
+        f"config#{spec.config}, selector {spec.selector})",
+        f"consumed {result.iterations_consumed} of "
+        f"{result.epoch_iterations} iterations "
+        f"({100.0 * result.fraction_consumed:.1f}% of the epoch) — {status}",
+        f"{result.method}: {len(result)} points"
+        + (f" (k={result.k})" if result.k is not None else "")
+        + f", prefix identification error "
+        f"{result.identification_error_pct:.3f}%",
+        "",
+        render_table(
+            ["seq_len", "tgt_len", "weight", "time_s"],
+            [
+                [p.seq_len, p.tgt_len if p.tgt_len is not None else "-",
+                 round(p.weight, 1), p.time_s]
+                for p in result.points
+            ],
+            title="selected points",
+        ),
+        "",
+        f"projected epoch {format_duration(result.projected_epoch_time_s)} "
+        f"vs actual {format_duration(result.actual_total_s)} "
+        f"(error {result.projection_error_pct:.3f}%)",
+        f"batch analysis of the full epoch: identification error "
+        f"{result.batch_identification_error_pct:.3f}%, selection "
+        + ("matches" if result.matches_batch_selection else "differs"),
+    ]
+    return "\n".join(parts)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    try:
+        stream = _stream_spec(args)
+        if args.cache_dir is not None:
+            engine = AnalysisEngine(cache=TraceCache(args.cache_dir))
+        else:
+            engine = default_engine()
+        result = engine.run_streaming(stream)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"stream: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        return _unknown_name("stream", exc)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(_render_stream(result))
     return 0
 
 
@@ -517,6 +693,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_analyze(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "stream":
+            return _cmd_stream(args)
         return _cmd_experiments(args.scale, args.ids, args.output)
     except ReproError as exc:
         # Deliberate library failures (bad ranges, unknown names) exit

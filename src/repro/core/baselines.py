@@ -109,6 +109,11 @@ class PriorSelector:
     METHOD = "prior"
 
     def __init__(self, warmup: int = 200, window: int = 50):
+        # Eager type checks: spec/CLI kwargs must fail at construction
+        # with a clean error, not as a TypeError mid-selection.
+        for name, value in (("warmup", warmup), ("window", window)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SelectionError(f"{name} must be an int, got {value!r}")
         if warmup < 0:
             raise SelectionError("warmup cannot be negative")
         if window <= 0:

@@ -83,6 +83,11 @@ class KMeansSelector:
     METHOD = "kmeans"
 
     def __init__(self, k: int, seed: int = 0):
+        # Eager type checks: spec/CLI kwargs must fail at construction
+        # with a clean error, not as a TypeError mid-clustering.
+        for name, value in (("k", k), ("seed", seed)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SelectionError(f"{name} must be an int, got {value!r}")
         if k <= 0:
             raise SelectionError("k must be positive")
         self.k = k

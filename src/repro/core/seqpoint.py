@@ -62,6 +62,25 @@ class SeqPointSelector:
         error_threshold_pct: float = 1.0,
         max_bins: int | None = None,
     ):
+        # Validate types eagerly: these kwargs arrive verbatim from
+        # specs and the CLI, and a bad type must fail at construction
+        # (a clean ConfigurationError) rather than mid-selection.
+        for name, value in (
+            ("max_unique", max_unique),
+            ("initial_bins", initial_bins),
+            ("max_bins", max_bins),
+        ):
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise SelectionError(f"{name} must be an int, got {value!r}")
+        if not isinstance(error_threshold_pct, (int, float)) or isinstance(
+            error_threshold_pct, bool
+        ):
+            raise SelectionError(
+                f"error_threshold_pct must be a number, "
+                f"got {error_threshold_pct!r}"
+            )
         if max_unique < 1:
             raise SelectionError("max_unique must be at least 1")
         if initial_bins < 1:

@@ -62,7 +62,6 @@ class SlStatistics:
 
     @classmethod
     def _from_frame(cls, frame: TraceFrame) -> "SlStatistics":
-        times = frame.time_s
         seq_lens, inverse, counts = np.unique(
             frame.seq_len, return_inverse=True, return_counts=True
         )
@@ -70,8 +69,30 @@ class SlStatistics:
         # bincount accumulates in array order, matching the sequential
         # per-group sums of the original scan bit for bit.
         totals = np.bincount(
-            inverse, weights=times, minlength=seq_lens.size
+            inverse, weights=frame.time_s, minlength=seq_lens.size
         )
+        return cls.from_grouped(frame, seq_lens, counts, totals, inverse)
+
+    @classmethod
+    def from_grouped(
+        cls,
+        frame: TraceFrame,
+        seq_lens: np.ndarray,
+        counts: np.ndarray,
+        totals: np.ndarray,
+        inverse: np.ndarray,
+    ) -> "SlStatistics":
+        """Build statistics from an already computed grouping.
+
+        The one representative-search implementation shared by the
+        batch group-by above and the incremental accumulator
+        (:class:`repro.stream.stats.StreamingSlStatistics`), so their
+        asserted bit-identity cannot drift: ``seq_lens`` are the sorted
+        unique SLs, ``counts``/``totals`` their per-group aggregates
+        (accumulated in iteration order), and ``inverse`` maps each of
+        ``frame``'s iterations onto its group.
+        """
+        times = frame.time_s
         means = totals / counts
         # Representative per SL: first record attaining the minimal
         # |time - mean| (ties resolved by iteration order, as min() did).

@@ -1,0 +1,39 @@
+"""Online (streaming) SeqPoint identification.
+
+Everything the batch pipeline does after a *complete* logged epoch,
+this package does on a *growing prefix* of one: iterations absorb into
+an incremental per-SL accumulator
+(:class:`~repro.stream.stats.StreamingSlStatistics`, bit-identical to
+the batch group-by on the same prefix), a
+:class:`~repro.stream.identifier.StreamingIdentifier` re-runs the
+selector on a cadence, and the stream stops as soon as the selection
+stabilises — typically well before the epoch ends, extending the
+paper's profiling-cost-reduction argument to the logging phase itself.
+
+Declarative entry points mirror the batch API: a
+:class:`~repro.stream.spec.StreamSpec` JSON round-trips like
+``AnalysisSpec``, :meth:`repro.api.engine.AnalysisEngine.run_streaming`
+executes one, and ``repro stream`` is the same path from the shell.
+:class:`~repro.stream.feed.TraceReplayFeed` replays cached epoch traces
+(or trace-JSON artefacts) as simulated live feeds.
+"""
+
+from repro.stream.feed import FrameSlice, TraceReplayFeed, replay
+from repro.stream.identifier import (
+    ConvergenceCheck,
+    StreamingIdentifier,
+    StreamingRun,
+)
+from repro.stream.spec import StreamSpec
+from repro.stream.stats import StreamingSlStatistics
+
+__all__ = [
+    "ConvergenceCheck",
+    "FrameSlice",
+    "StreamSpec",
+    "StreamingIdentifier",
+    "StreamingRun",
+    "StreamingSlStatistics",
+    "TraceReplayFeed",
+    "replay",
+]

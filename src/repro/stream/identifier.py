@@ -1,0 +1,348 @@
+"""Online SeqPoint identification with early stopping.
+
+:class:`StreamingIdentifier` wraps any selector (SeqPoint, k-means, or
+a baseline — anything with ``select(frame)``) and drives it over a feed
+of arriving iterations:
+
+1. iterations absorb into a :class:`StreamingSlStatistics`;
+2. every ``cadence`` iterations the selector re-runs on the prefix
+   (reusing the incremental per-SL group-by);
+3. convergence is declared once the selected ``(seq_len, tgt_len)`` set
+   and the projected mean iteration time are stable across ``patience``
+   consecutive checks (relative tolerance ``rtol``), at which point the
+   rest of the stream is never consumed — the paper's profiling-cost
+   argument, extended to not even needing the full logged epoch;
+4. a changepoint-style guard (after the online checkpoint tests of
+   Titsias et al.) resets the stability window whenever any already
+   seen SL's running mean runtime drifts by more than ``drift_rtol``,
+   so a distribution shift mid-stream restarts the convergence clock
+   instead of freezing a stale selection.
+
+Checks land on exact ``cadence`` boundaries regardless of the feed's
+chunk granularity, so the sequence of convergence decisions is
+invariant under re-chunking — asserted in
+``tests/test_stream_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.projection import project_logged_time
+from repro.core.selection import Selection
+from repro.core.seqpoint import SeqPointResult
+from repro.errors import ConfigurationError
+from repro.stream.feed import FrameSlice
+from repro.stream.stats import StreamingSlStatistics
+from repro.util.stats import percent_error
+
+__all__ = ["ConvergenceCheck", "StreamingIdentifier", "StreamingRun"]
+
+
+@dataclass(frozen=True)
+class ConvergenceCheck:
+    """One selector re-run on the prefix, and what it decided."""
+
+    iterations: int
+    #: Selected ``(seq_len, tgt_len)`` pairs, sorted.
+    selected: tuple[tuple[int, int | None], ...]
+    projected_mean_iteration_s: float
+    #: Consecutive checks (this one included) agreeing so far.
+    stable_checks: int
+    #: True when the drift guard reset the stability window here.
+    drift_reset: bool
+    k: int | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "iterations": self.iterations,
+            "selected": [list(pair) for pair in self.selected],
+            "projected_mean_iteration_s": self.projected_mean_iteration_s,
+            "stable_checks": self.stable_checks,
+            "drift_reset": self.drift_reset,
+            "k": self.k,
+        }
+
+
+@dataclass(frozen=True)
+class StreamingRun:
+    """Everything one streaming identification produced."""
+
+    converged: bool
+    iterations_consumed: int
+    checks: tuple[ConvergenceCheck, ...]
+    selection: Selection
+    k: int | None
+    #: Equation 1 on the consumed prefix vs the prefix's actual time.
+    identification_error_pct: float
+    projected_prefix_total_s: float
+    prefix_total_s: float
+    #: The accumulator, for callers that keep absorbing or inspecting.
+    stats: StreamingSlStatistics = field(repr=False, compare=False)
+
+    @property
+    def method(self) -> str:
+        return self.selection.method
+
+    def __len__(self) -> int:
+        return len(self.selection)
+
+    def project_epoch_time(self, epoch_iterations: int) -> float:
+        """Extrapolate the prefix projection to a full epoch's length."""
+        if epoch_iterations <= 0:
+            raise ConfigurationError(
+                f"epoch_iterations must be positive, got {epoch_iterations}"
+            )
+        return (
+            self.projected_prefix_total_s
+            / self.iterations_consumed
+            * epoch_iterations
+        )
+
+
+def _points_agree(
+    current: tuple[tuple[int, int | None], ...],
+    previous: tuple[tuple[int, int | None], ...],
+    sl_rtol: float,
+) -> bool:
+    """Tolerant stability test on two sorted selected-point sets.
+
+    Binned selectors legitimately flap between *adjacent* in-bin
+    representatives (SL 140 vs 147) without the selection structure
+    changing, so two sets agree when they have the same cardinality and
+    each pair of corresponding lengths is within ``sl_rtol``
+    relatively.  ``sl_rtol=0`` degenerates to exact set equality.
+    """
+    if len(current) != len(previous):
+        return False
+    for (now_sl, now_tgt), (then_sl, then_tgt) in zip(current, previous):
+        if abs(now_sl - then_sl) > sl_rtol * then_sl:
+            return False
+        if (now_tgt is None) != (then_tgt is None):
+            return False
+        if now_tgt is not None and abs(now_tgt - then_tgt) > sl_rtol * then_tgt:
+            return False
+    return True
+
+
+def _unwrap(outcome: Any) -> tuple[Selection, int | None, float]:
+    """Normalise a selector outcome to (selection, k, projected total)."""
+    if isinstance(outcome, SeqPointResult):
+        return outcome.selection, outcome.k, outcome.projected_total_s
+    if not isinstance(outcome, Selection):
+        raise ConfigurationError(
+            f"selector returned {type(outcome).__name__}, expected a "
+            "Selection or SeqPointResult"
+        )
+    return outcome, None, project_logged_time(outcome)
+
+
+class StreamingIdentifier:
+    """Drive a selector over an iteration stream until it stabilises."""
+
+    def __init__(
+        self,
+        selector: Any,
+        cadence: int = 64,
+        patience: int = 3,
+        rtol: float = 0.005,
+        drift_rtol: float = 0.02,
+        sl_rtol: float = 0.1,
+        min_iterations: int = 0,
+    ):
+        if not callable(getattr(selector, "select", None)):
+            raise ConfigurationError(
+                f"selector must expose select(trace), got {selector!r}"
+            )
+        if cadence < 1:
+            raise ConfigurationError(f"cadence must be >= 1, got {cadence}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if not rtol > 0:
+            raise ConfigurationError(f"rtol must be positive, got {rtol}")
+        if not drift_rtol > 0:
+            raise ConfigurationError(
+                f"drift_rtol must be positive, got {drift_rtol}"
+            )
+        if sl_rtol < 0:
+            raise ConfigurationError(
+                f"sl_rtol cannot be negative, got {sl_rtol}"
+            )
+        if min_iterations < 0:
+            raise ConfigurationError(
+                f"min_iterations cannot be negative, got {min_iterations}"
+            )
+        self.selector = selector
+        self.cadence = cadence
+        self.patience = patience
+        self.rtol = rtol
+        self.drift_rtol = drift_rtol
+        self.sl_rtol = sl_rtol
+        self.min_iterations = min_iterations
+
+    # -- the convergence loop -----------------------------------------
+
+    def run(
+        self,
+        feed: Iterable[Any],
+        stats: StreamingSlStatistics | None = None,
+    ) -> StreamingRun:
+        """Consume ``feed`` until convergence (or exhaustion).
+
+        ``feed`` yields :class:`~repro.stream.feed.FrameSlice` chunks
+        or iterables of records; chunks are split internally so checks
+        land on exact cadence boundaries.  Pass ``stats`` to resume an
+        accumulator that already absorbed earlier arrivals.
+        """
+        state = _LoopState(self, stats)
+        for chunk in feed:
+            if isinstance(chunk, FrameSlice):
+                converged = state.absorb_slice(chunk)
+            else:
+                converged = state.absorb_records(chunk)
+            if converged:
+                break
+        return state.finish()
+
+
+class _LoopState:
+    """Mutable per-run state of one streaming identification."""
+
+    def __init__(self, identifier: StreamingIdentifier, stats):
+        self.identifier = identifier
+        self.stats = stats if stats is not None else StreamingSlStatistics()
+        self.checks: list[ConvergenceCheck] = []
+        self.last_check_at = 0
+        self.stable_run = 0
+        self.previous: ConvergenceCheck | None = None
+        self.previous_means: dict[int, float] = {}
+        self.outcome = None
+        self.converged = False
+
+    def _next_boundary(self) -> int:
+        """The next iteration count at which a check may fire.
+
+        The smallest cadence multiple strictly past the current size
+        that also satisfies the ``min_iterations`` warm-up — matching
+        ``_maybe_check``'s predicate exactly, so slice splitting and
+        the per-record path check at identical positions (a check CAN
+        land at ``min_iterations`` itself when it is a multiple).
+        """
+        cadence = self.identifier.cadence
+        boundary = (len(self.stats) // cadence + 1) * cadence
+        floor = max(self.identifier.min_iterations, 1)
+        if boundary < floor:
+            boundary = -(-floor // cadence) * cadence
+        return boundary
+
+    def absorb_slice(self, chunk: FrameSlice) -> bool:
+        """Absorb a columnar chunk, checking at each cadence boundary."""
+        start = chunk.start
+        while start < chunk.stop:
+            stop = min(chunk.stop, start + self._next_boundary() - len(self.stats))
+            self.stats.absorb_frame(chunk.frame, start, stop)
+            start = stop
+            if self._maybe_check():
+                return True
+        return False
+
+    def absorb_records(self, records) -> bool:
+        """Absorb a record chunk, checking at each cadence boundary."""
+        for record in records:
+            self.stats.absorb(record)
+            if self._maybe_check():
+                return True
+        return False
+
+    def _maybe_check(self) -> bool:
+        consumed = len(self.stats)
+        if consumed < max(self.identifier.min_iterations, 1):
+            return False
+        if consumed % self.identifier.cadence != 0:
+            return False
+        return self._check()
+
+    def _check(self) -> bool:
+        identifier = self.identifier
+        consumed = len(self.stats)
+        self.last_check_at = consumed
+        frame = self.stats.frame()
+        self.stats.statistics()  # seed the frame's group-by memo
+        self.outcome = identifier.selector.select(frame)
+        selection, k, projected = _unwrap(self.outcome)
+        selected = tuple(
+            sorted({(point.seq_len, point.tgt_len) for point in selection.points})
+        )
+        mean_s = projected / consumed
+
+        means = self.stats.mean_times()
+        drift_reset = False
+        if self.previous is not None:
+            for seq_len, previous_mean in self.previous_means.items():
+                current = means.get(seq_len)
+                if (
+                    current is not None
+                    and abs(current - previous_mean)
+                    > identifier.drift_rtol * previous_mean
+                ):
+                    drift_reset = True
+                    break
+            stable = (
+                not drift_reset
+                and _points_agree(
+                    selected, self.previous.selected, identifier.sl_rtol
+                )
+                and abs(mean_s - self.previous.projected_mean_iteration_s)
+                <= identifier.rtol * self.previous.projected_mean_iteration_s
+            )
+            self.stable_run = self.stable_run + 1 if stable else 1
+        else:
+            self.stable_run = 1
+        self.previous_means = means
+
+        check = ConvergenceCheck(
+            iterations=consumed,
+            selected=selected,
+            projected_mean_iteration_s=mean_s,
+            stable_checks=self.stable_run,
+            drift_reset=drift_reset,
+            k=k,
+        )
+        self.checks.append(check)
+        self.previous = check
+        self.converged = self.stable_run >= identifier.patience
+        return self.converged
+
+    def finish(self) -> StreamingRun:
+        consumed = len(self.stats)
+        if consumed == 0:
+            raise ConfigurationError("the feed produced no iterations")
+        # A final check when the stream ended between boundaries, so a
+        # short or exhausted feed still yields an up-to-date selection.
+        if self.outcome is None or self.last_check_at != consumed:
+            self._check()
+        # Mirror the batch engine's accounting exactly (bit for bit): a
+        # SeqPointResult carries its own numbers (actual = the per-SL
+        # total sum); plain selections score against the frame total.
+        if isinstance(self.outcome, SeqPointResult):
+            selection, k = self.outcome.selection, self.outcome.k
+            projected = self.outcome.projected_total_s
+            actual = self.outcome.actual_total_s
+            error = self.outcome.identification_error_pct
+        else:
+            selection, k = self.outcome, None
+            projected = project_logged_time(selection)
+            actual = self.stats.frame().total_time_s
+            error = percent_error(projected, actual)
+        return StreamingRun(
+            converged=self.converged,
+            iterations_consumed=consumed,
+            checks=tuple(self.checks),
+            selection=selection,
+            k=k,
+            identification_error_pct=error,
+            projected_prefix_total_s=projected,
+            prefix_total_s=actual,
+            stats=self.stats,
+        )

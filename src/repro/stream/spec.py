@@ -1,0 +1,137 @@
+"""Declarative streaming requests: frozen, validated, JSON round-trip.
+
+A :class:`StreamSpec` nests the scenario description — a full
+:class:`~repro.api.spec.AnalysisSpec` — under the streaming knobs
+(check cadence, convergence patience and tolerance, drift guard, feed
+chunk size), so one JSON document describes an online identification
+end to end, exactly as ``AnalysisSpec``/``SweepSpec`` do for their
+workflows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.api.spec import AnalysisSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamSpec"]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One online identification, declaratively.
+
+    ``analysis`` names the scenario and selector; the remaining fields
+    parameterise the convergence loop of
+    :class:`~repro.stream.identifier.StreamingIdentifier` and the
+    replay granularity of the simulated feed.
+    """
+
+    analysis: AnalysisSpec
+    #: Iterations between selector re-runs.
+    cadence: int = 64
+    #: Consecutive agreeing checks required to declare convergence.
+    patience: int = 3
+    #: Relative tolerance on the projected mean iteration time.
+    rtol: float = 0.005
+    #: Relative per-SL mean-runtime drift that resets the window.
+    drift_rtol: float = 0.02
+    #: Pointwise relative tolerance when comparing selected SL sets
+    #: across checks (0 = exact set equality).
+    sl_rtol: float = 0.1
+    #: Arrival granularity of the replayed feed.
+    chunk_size: int = 1
+    #: Iterations to consume before the first check.
+    min_iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.analysis, Mapping):
+            object.__setattr__(
+                self, "analysis", AnalysisSpec.from_dict(self.analysis)
+            )
+        if not isinstance(self.analysis, AnalysisSpec):
+            raise ConfigurationError(
+                f"analysis must be an AnalysisSpec (or its dict form), "
+                f"got {self.analysis!r}"
+            )
+        for name in ("cadence", "patience", "chunk_size", "min_iterations"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{name} must be an int, got {value!r}"
+                )
+        if self.cadence < 1:
+            raise ConfigurationError(f"cadence must be >= 1, got {self.cadence}")
+        if self.patience < 1:
+            raise ConfigurationError(
+                f"patience must be >= 1, got {self.patience}"
+            )
+        if self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.min_iterations < 0:
+            raise ConfigurationError(
+                f"min_iterations cannot be negative, got {self.min_iterations}"
+            )
+        try:
+            object.__setattr__(self, "rtol", float(self.rtol))
+            object.__setattr__(self, "drift_rtol", float(self.drift_rtol))
+            object.__setattr__(self, "sl_rtol", float(self.sl_rtol))
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"rtol/drift_rtol/sl_rtol must be numeric, got {self.rtol!r}/"
+                f"{self.drift_rtol!r}/{self.sl_rtol!r}"
+            ) from None
+        if not self.rtol > 0:
+            raise ConfigurationError(f"rtol must be positive, got {self.rtol}")
+        if not self.drift_rtol > 0:
+            raise ConfigurationError(
+                f"drift_rtol must be positive, got {self.drift_rtol}"
+            )
+        if self.sl_rtol < 0:
+            raise ConfigurationError(
+                f"sl_rtol cannot be negative, got {self.sl_rtol}"
+            )
+
+    def build_identifier(self) -> Any:
+        """Instantiate the convergence loop this spec describes."""
+        from repro.stream.identifier import StreamingIdentifier
+
+        return StreamingIdentifier(
+            selector=self.analysis.build_selector(),
+            cadence=self.cadence,
+            patience=self.patience,
+            rtol=self.rtol,
+            drift_rtol=self.drift_rtol,
+            sl_rtol=self.sl_rtol,
+            min_iterations=self.min_iterations,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "analysis": self.analysis.to_dict(),
+            "cadence": self.cadence,
+            "patience": self.patience,
+            "rtol": self.rtol,
+            "drift_rtol": self.drift_rtol,
+            "sl_rtol": self.sl_rtol,
+            "chunk_size": self.chunk_size,
+            "min_iterations": self.min_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StreamSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown StreamSpec fields: {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(sorted(known))}"
+            )
+        if "analysis" not in payload:
+            raise ConfigurationError("StreamSpec needs an 'analysis' object")
+        return cls(**dict(payload))

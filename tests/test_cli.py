@@ -222,8 +222,130 @@ class TestSweep:
         assert "unknown model 'bert'" in err
 
 
+class TestStream:
+    def test_json_output_matches_library(self, capsys):
+        from repro.api import default_engine
+        from repro.stream import StreamSpec
+
+        args = ["stream", "--network", "gnmt", "--scale", "0.01",
+                "--cadence", "8", "--patience", "2", "--rtol", "0.05",
+                "--sl-rtol", "0.3", "--format", "json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["cadence"] == 8
+        assert payload["epoch_iterations"] > 0
+        assert payload["iterations_consumed"] <= payload["epoch_iterations"]
+        assert payload["checks"]
+
+        expected = default_engine().run_streaming(
+            StreamSpec.from_dict(payload["spec"])
+        )
+        assert payload == json.loads(json.dumps(expected.to_dict()))
+
+    def test_table_output(self, capsys):
+        assert main(["stream", "--network", "gnmt", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "consumed" in out
+        assert "selected points" in out
+        assert "projected epoch" in out
+
+    def test_spec_file_matches_inline(self, tmp_path, capsys):
+        spec_file = tmp_path / "stream.json"
+        spec_file.write_text(
+            json.dumps({
+                "analysis": {"network": "gnmt", "scale": 0.01},
+                "cadence": 8, "patience": 2,
+            }),
+            encoding="utf-8",
+        )
+        assert main(["stream", "--spec", str(spec_file),
+                     "--format", "json"]) == 0
+        from_file = json.loads(capsys.readouterr().out)
+        assert main(["stream", "--network", "gnmt", "--scale", "0.01",
+                     "--cadence", "8", "--patience", "2",
+                     "--format", "json"]) == 0
+        inline = json.loads(capsys.readouterr().out)
+        assert from_file == inline
+
+    def test_spec_and_inline_conflict(self, tmp_path, capsys):
+        spec_file = tmp_path / "stream.json"
+        spec_file.write_text(
+            '{"analysis": {"network": "gnmt"}}', encoding="utf-8"
+        )
+        assert main(["stream", "--spec", str(spec_file),
+                     "--cadence", "8"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_missing_network(self, capsys):
+        assert main(["stream"]) == 2
+        assert "--network" in capsys.readouterr().err
+
+    def test_cache_dir_reuses_traces(self, tmp_path, capsys):
+        args = ["stream", "--network", "gnmt", "--scale", "0.01",
+                "--cache-dir", str(tmp_path), "--format", "json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert list(tmp_path.glob("*.json"))
+        assert main(args) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
+
 class TestCleanErrors:
     """Library failures exit 2 with one stderr line, never a traceback."""
+
+    def test_analyze_unknown_selector_kwarg(self, capsys):
+        assert main(["analyze", "--network", "gnmt", "--scale", "0.01",
+                     "--selector-arg", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "rejected kwargs" in err
+        assert "Traceback" not in err
+
+    def test_stream_unknown_selector_kwarg(self, capsys):
+        assert main(["stream", "--network", "gnmt", "--scale", "0.01",
+                     "--selector-arg", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "rejected kwargs" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        ("selector", "arg"),
+        [
+            ("seqpoint", "initial_bins=2.5"),
+            ("seqpoint", "error_threshold_pct=\"tight\""),
+            ("kmeans", "seed=1.5"),
+            ("kmeans", "k=\"many\""),
+            ("prior", "window=0.5"),
+        ],
+    )
+    def test_wrongly_typed_selector_kwargs_fail_eagerly(
+        self, capsys, selector, arg
+    ):
+        """Type confusion fails at spec construction, not mid-selection."""
+        for command in ("analyze", "stream"):
+            assert main([command, "--network", "gnmt", "--scale", "0.01",
+                         "--selector", selector, "--selector-arg", arg]) == 2
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1
+            assert "rejected kwargs" in err
+
+    def test_stream_bad_cadence(self, capsys):
+        assert main(["stream", "--network", "gnmt", "--scale", "0.01",
+                     "--cadence", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cadence" in err
+
+    def test_stream_unknown_spec_fields(self, tmp_path, capsys):
+        spec_file = tmp_path / "stream.json"
+        spec_file.write_text(
+            '{"analysis": {"network": "gnmt"}, "nope": 1}', encoding="utf-8"
+        )
+        assert main(["stream", "--spec", str(spec_file)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown StreamSpec" in err
 
     def test_identify_bad_scale(self, capsys):
         assert main(["identify", "--network", "gnmt", "--scale", "-1"]) == 2

@@ -99,6 +99,54 @@ def test_representative_always_member_of_bin(pairs, k):
         assert point.weight == bin_.iterations
 
 
+@given(sl_time_pairs)
+@settings(max_examples=60)
+def test_sl_statistics_totals_equal_raw_sums(pairs):
+    """Group-by totals are exactly the raw per-iteration sums.
+
+    Bit-exact, not approximate: the vectorized bincount accumulates in
+    array order, the same addition sequence as a sequential scan.
+    """
+    statistics = SlStatistics.from_trace(make_trace(pairs))
+    by_sl = {}
+    for seq_len, time_s in pairs:
+        by_sl[seq_len] = by_sl.get(seq_len, 0.0) + time_s
+    counts = {}
+    for seq_len, _ in pairs:
+        counts[seq_len] = counts.get(seq_len, 0) + 1
+    assert [s.seq_len for s in statistics] == sorted(by_sl)
+    for stat in statistics:
+        assert stat.total_time_s == by_sl[stat.seq_len]
+        assert stat.iterations == counts[stat.seq_len]
+        assert stat.mean_time_s == by_sl[stat.seq_len] / counts[stat.seq_len]
+    assert statistics.total_iterations == len(pairs)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=500),
+            st.floats(min_value=1e-4, max_value=100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda pair: pair[0],  # every SL appears exactly once
+    )
+)
+@settings(max_examples=60)
+def test_projection_exact_when_every_sl_is_its_own_bin(pairs):
+    """With one point per unique SL the projection is the epoch itself."""
+    trace = make_trace(pairs)
+    result = SeqPointSelector(max_unique=len(pairs)).select(trace)
+    assert result.k == 0  # the no-binning path: every SL its own point
+    assert result.identification_error_pct <= 1e-9
+    assert result.projected_total_s == (
+        math.fsum(t for _, t in pairs)
+    ) or abs(result.projected_total_s - result.actual_total_s) <= 1e-12 * max(
+        1.0, result.actual_total_s
+    )
+
+
 # ---- seqpoint invariants ----------------------------------------------
 
 

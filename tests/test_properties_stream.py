@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis): streaming == batch, any chunking."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.seqpoint import SeqPointSelector
+from repro.core.sl_stats import SlStatistics
+from repro.stream import StreamingIdentifier, StreamingSlStatistics, replay
+from tests.conftest import make_trace
+
+sl_time_pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=300),
+        st.floats(min_value=1e-4, max_value=50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@st.composite
+def trace_and_chunking(draw):
+    """A random trace plus a random partition of it into chunks."""
+    pairs = draw(sl_time_pairs)
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(pairs)),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    boundaries = sorted({0, *cuts, len(pairs)})
+    return pairs, list(zip(boundaries, boundaries[1:]))
+
+
+@given(trace_and_chunking())
+@settings(max_examples=60)
+def test_streaming_stats_bit_identical_under_any_chunking(case):
+    pairs, chunks = case
+    frame = make_trace(pairs).frame()
+    stats = StreamingSlStatistics.for_frame(frame)
+    for start, stop in chunks:
+        stats.absorb_frame(frame, start, stop)
+    assert stats.statistics() == SlStatistics.from_trace(frame)
+
+
+@given(trace_and_chunking())
+@settings(max_examples=40)
+def test_streaming_prefixes_bit_identical_to_batch(case):
+    pairs, chunks = case
+    trace = make_trace(pairs)
+    frame = trace.frame()
+    stats = StreamingSlStatistics.for_frame(frame)
+    for start, stop in chunks:
+        stats.absorb_frame(frame, start, stop)
+        if stop == 0:
+            continue
+        prefix = make_trace(pairs[:stop]).frame()
+        assert stats.statistics() == SlStatistics.from_trace(prefix)
+
+
+@given(sl_time_pairs, st.integers(min_value=1, max_value=17))
+@settings(max_examples=40)
+def test_exhausted_stream_reproduces_batch_selection(pairs, chunk_size):
+    frame = make_trace(pairs).frame()
+    batch = SeqPointSelector().select(frame)
+    run = StreamingIdentifier(
+        SeqPointSelector(),
+        cadence=max(1, len(frame) // 2),
+        patience=10_000,  # never converge: consume the whole stream
+    ).run(replay(frame, chunk_size=chunk_size))
+    assert run.iterations_consumed == len(frame)
+    assert run.k == batch.k
+    assert run.projected_prefix_total_s == batch.projected_total_s
+    assert run.identification_error_pct == batch.identification_error_pct
+    assert [
+        (p.seq_len, p.weight, p.record.time_s) for p in run.selection.points
+    ] == [
+        (p.seq_len, p.weight, p.record.time_s) for p in batch.selection.points
+    ]
+
+
+@given(sl_time_pairs)
+@settings(max_examples=40)
+def test_absorb_paths_agree(pairs):
+    """Record-by-record and columnar absorption are interchangeable."""
+    trace = make_trace(pairs)
+    frame = trace.frame()
+    by_record = StreamingSlStatistics.for_frame(frame)
+    by_record.absorb_many(trace.records)
+    by_frame = StreamingSlStatistics.for_frame(frame)
+    by_frame.absorb_frame(frame, 0, len(frame))
+    assert by_record.statistics() == by_frame.statistics()
+    assert by_record.total_time_s == by_frame.total_time_s
+    assert by_record.mean_times() == by_frame.mean_times()

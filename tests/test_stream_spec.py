@@ -1,0 +1,105 @@
+"""Unit tests for the declarative StreamSpec."""
+
+import json
+
+import pytest
+
+from repro.api.spec import AnalysisSpec
+from repro.errors import ConfigurationError
+from repro.stream import StreamSpec, StreamingIdentifier
+
+
+def spec(**kwargs) -> StreamSpec:
+    return StreamSpec(analysis=AnalysisSpec(network="gnmt"), **kwargs)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        stream = spec()
+        assert stream.cadence == 64
+        assert stream.patience == 3
+        assert stream.rtol == 0.005
+        assert stream.drift_rtol == 0.02
+        assert stream.sl_rtol == 0.1
+        assert stream.chunk_size == 1
+        assert stream.min_iterations == 0
+
+    def test_analysis_accepts_a_dict(self):
+        stream = StreamSpec(analysis={"network": "ds2", "scale": 0.5})
+        assert isinstance(stream.analysis, AnalysisSpec)
+        assert stream.analysis.network == "ds2"
+
+    def test_analysis_required_type(self):
+        with pytest.raises(ConfigurationError, match="analysis"):
+            StreamSpec(analysis="gnmt")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cadence": 0},
+            {"cadence": 2.5},
+            {"cadence": True},
+            {"patience": 0},
+            {"rtol": 0.0},
+            {"rtol": "fast"},
+            {"drift_rtol": -0.1},
+            {"sl_rtol": -0.1},
+            {"chunk_size": 0},
+            {"min_iterations": -1},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            spec(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            spec().cadence = 10
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        original = spec(cadence=100, patience=4, rtol=0.02, chunk_size=7)
+        payload = json.loads(json.dumps(original.to_dict()))
+        assert StreamSpec.from_dict(payload) == original
+
+    def test_round_trip_preserves_selector_kwargs(self):
+        original = StreamSpec(
+            analysis=AnalysisSpec(
+                network="gnmt",
+                selector="kmeans",
+                selector_kwargs={"k": 3, "seed": 1},
+            ),
+            cadence=32,
+        )
+        restored = StreamSpec.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert restored == original
+        assert restored.analysis.selector_options == {"k": 3, "seed": 1}
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown StreamSpec"):
+            StreamSpec.from_dict({"analysis": {"network": "gnmt"}, "nope": 1})
+
+    def test_missing_analysis_rejected(self):
+        with pytest.raises(ConfigurationError, match="analysis"):
+            StreamSpec.from_dict({"cadence": 10})
+
+
+class TestBuildIdentifier:
+    def test_builds_a_wired_identifier(self):
+        stream = spec(cadence=100, patience=5, rtol=0.02, sl_rtol=0.3)
+        identifier = stream.build_identifier()
+        assert isinstance(identifier, StreamingIdentifier)
+        assert identifier.cadence == 100
+        assert identifier.patience == 5
+        assert identifier.rtol == 0.02
+        assert identifier.sl_rtol == 0.3
+        assert identifier.selector.METHOD == "seqpoint"
+
+    def test_bad_selector_kwargs_fail_at_spec_construction(self):
+        with pytest.raises(ConfigurationError, match="rejected kwargs"):
+            StreamSpec(
+                analysis={"network": "gnmt", "selector_kwargs": {"bogus": 1}}
+            )
