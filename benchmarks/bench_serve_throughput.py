@@ -1,0 +1,202 @@
+"""Serve throughput bench: closed-loop clients against the daemon.
+
+Starts a real :class:`repro.serve.ReproServer` on an ephemeral port,
+warms its trace cache with one analyze job, then drives it with N
+closed-loop HTTP clients — each submits an analyze job, polls it to
+completion, fetches the result, and immediately submits the next.
+Reported per client count: jobs/sec plus p50/p95/p99 submit-to-result
+latency (nearest-rank, via :func:`repro.serve.metrics.percentile`).
+
+The headline claim is that concurrent clients raise throughput — the
+queue keeps the worker tier busy while clients sit in their poll
+loops.  The gate compares 4 clients vs 1 and is skipped (with a note)
+on hosts without the cores to back it.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py [--smoke]
+        [--json BENCH_serve_throughput.json]
+
+or through pytest (``pytest benchmarks/bench_serve_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+import urllib.request
+
+from repro.api.spec import AnalysisSpec
+from repro.serve import ReproServer
+from repro.serve.metrics import percentile
+
+#: Submit-to-result poll interval; small enough not to dominate p50.
+POLL_S = 0.002
+
+
+def _call(url: str, payload: dict | None = None) -> dict:
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _run_one_job(base: str, spec: dict) -> float:
+    """Submit one analyze job, poll to done, fetch the result."""
+    start = time.perf_counter()
+    job = _call(f"{base}/jobs", {"kind": "analyze", "spec": spec})["job"]
+    while job["state"] not in ("done", "failed", "cancelled"):
+        time.sleep(POLL_S)
+        job = _call(f"{base}/jobs/{job['id']}")["job"]
+    if job["state"] != "done":
+        raise AssertionError(f"bench job ended {job['state']}: {job}")
+    _call(f"{base}/jobs/{job['id']}/result")
+    return time.perf_counter() - start
+
+
+def closed_loop(base: str, spec: dict, clients: int, jobs_per_client: int):
+    """Drive the server with N closed-loop clients; returns the numbers."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def client() -> None:
+        try:
+            mine = [
+                _run_one_job(base, spec) for _ in range(jobs_per_client)
+            ]
+            with lock:
+                latencies.extend(mine)
+        except BaseException as exc:  # surface, don't hang the bench
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+
+    total = clients * jobs_per_client
+    return {
+        "clients": clients,
+        "jobs": total,
+        "seconds": wall_s,
+        "jobs_per_s": total / wall_s,
+        "p50_ms": 1e3 * percentile(latencies, 50),
+        "p95_ms": 1e3 * percentile(latencies, 95),
+        "p99_ms": 1e3 * percentile(latencies, 99),
+    }
+
+
+def report(numbers: dict) -> None:
+    print(
+        f"  {numbers['clients']} client(s): "
+        f"{numbers['jobs']:3d} jobs in {numbers['seconds'] * 1e3:8.1f} ms   "
+        f"{numbers['jobs_per_s']:6.1f} jobs/s   "
+        f"p50 {numbers['p50_ms']:.1f} ms  "
+        f"p95 {numbers['p95_ms']:.1f} ms  "
+        f"p99 {numbers['p99_ms']:.1f} ms"
+    )
+
+
+def run_bench(scale: float, jobs_per_client: int, workers: int):
+    """One warm-cache server, then 1-client and 4-client closed loops."""
+    spec = AnalysisSpec(network="gnmt", scale=scale).to_dict()
+    with ReproServer(port=0, workers=workers, sweep_mode="serial") as server:
+        # Warm the shared trace cache: every later job is a cache hit.
+        _run_one_job(server.url, spec)
+        single = closed_loop(server.url, spec, 1, jobs_per_client)
+        quad = closed_loop(server.url, spec, 4, jobs_per_client)
+    return single, quad
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="few jobs per client, no throughput gate")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="corpus scale of the analyze jobs (default 0.05)")
+    parser.add_argument("--jobs", type=int, default=25,
+                        help="jobs per client per run (default 25)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server job worker threads (default 2)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write machine-readable results (BENCH_*.json schema)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale, args.jobs = 0.02, 6
+
+    single, quad = run_bench(args.scale, args.jobs, args.workers)
+    print(f"closed-loop analyze jobs, scale {args.scale}, warm cache")
+    report(single)
+    report(quad)
+    speedup = quad["jobs_per_s"] / single["jobs_per_s"]
+    print(f"  4-client throughput gain: {speedup:.2f}x")
+
+    if args.json is not None:
+        payload = {
+            "bench": "serve_throughput",
+            "scale": args.scale,
+            "results": [
+                {
+                    "name": "clients[1]",
+                    "seconds": single["seconds"],
+                    "speedup": 1.0,
+                    "jobs_per_s": single["jobs_per_s"],
+                    "p50_ms": single["p50_ms"],
+                    "p95_ms": single["p95_ms"],
+                    "p99_ms": single["p99_ms"],
+                },
+                {
+                    "name": "clients[4]",
+                    "seconds": quad["seconds"],
+                    "speedup": speedup,
+                    "jobs_per_s": quad["jobs_per_s"],
+                    "p50_ms": quad["p50_ms"],
+                    "p95_ms": quad["p95_ms"],
+                    "p99_ms": quad["p99_ms"],
+                },
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    cores = os.cpu_count() or 1
+    if not args.smoke:
+        if cores < 4:
+            print(
+                f"NOTE: only {cores} CPUs for 4 closed-loop clients; "
+                "throughput gate skipped"
+            )
+        elif speedup < 1.3:
+            print(
+                f"WARNING: 4-client throughput gain {speedup:.2f}x "
+                "below the 1.3x target"
+            )
+            return 1
+    return 0
+
+
+def test_serve_throughput_smoke(scale):
+    """Pytest entry: the closed loop completes and latencies are sane."""
+    single, quad = run_bench(min(scale, 0.02), jobs_per_client=3, workers=2)
+    for numbers in (single, quad):
+        assert numbers["jobs"] == 3 * numbers["clients"]
+        assert numbers["p50_ms"] <= numbers["p95_ms"] <= numbers["p99_ms"]
+        assert numbers["jobs_per_s"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Talking to the analysis service: jobs, sessions, and stats.
+
+``repro serve`` turns the library into an always-on daemon: analyze /
+sweep / stream requests become *jobs* in an async queue, streaming
+identifications run as *sessions* you feed incrementally, and
+``/stats`` reports cache, queue, and latency metrics.  The wire format
+is the same JSON the specs already round-trip — anything that works
+with ``AnalysisSpec.to_dict()`` is a valid request body.
+
+This walkthrough embeds the server in-process (``port=0`` binds an
+ephemeral port) so it is self-contained; against a real daemon, point
+``base`` at its URL instead.  The equivalent curl session:
+
+    repro serve --port 8742 &
+    curl -s localhost:8742/stats
+    curl -s -X POST localhost:8742/jobs -d \
+        '{"kind": "analyze", "spec": {"network": "gnmt", "scale": 0.1}}'
+    curl -s localhost:8742/jobs/job-1
+    curl -s localhost:8742/jobs/job-1/result
+
+Run:  PYTHONPATH=src python examples/serve_client.py
+"""
+
+import json
+import time
+import urllib.request
+
+from repro.api.spec import AnalysisSpec
+from repro.serve import ReproServer
+from repro.stream.spec import StreamSpec
+
+
+class ServeClient:
+    """A minimal stdlib client for the service's JSON endpoints."""
+
+    def __init__(self, base: str):
+        self.base = base
+
+    def call(self, path: str, payload: dict | None = None, method: str | None = None):
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            envelope = json.loads(response.read())
+        assert envelope["ok"], envelope
+        return envelope
+
+    def run_job(self, kind: str, spec: dict, **options):
+        """Submit a job and poll it to completion; returns the result."""
+        job = self.call("/jobs", {"kind": kind, "spec": spec, **options})["job"]
+        print(f"submitted {job['id']}: {job['describe']}")
+        while job["state"] not in ("done", "failed", "cancelled"):
+            time.sleep(0.05)
+            job = self.call(f"/jobs/{job['id']}")["job"]
+        if job["state"] != "done":
+            raise RuntimeError(f"{job['id']} ended {job['state']}: {job.get('error')}")
+        return self.call(f"/jobs/{job['id']}/result")["result"]
+
+
+with ReproServer(port=0, workers=2) as server:
+    client = ServeClient(server.url)
+    print(f"service up at {server.url}\n")
+
+    # -- an analyze job: the batch pipeline as a queued request -------
+    analysis = AnalysisSpec(network="gnmt", scale=0.1)
+    result = client.run_job("analyze", analysis.to_dict())
+    print(
+        f"analyze: {len(result['points'])} points (k={result['k']}), "
+        f"identification error {result['identification_error_pct']:.3f}%\n"
+    )
+
+    # -- a streaming session: feed the daemon, watch it converge ------
+    # ``replay=True`` draws from the scenario's *cached* epoch (shared
+    # with the analyze job above — no second simulation); live sessions
+    # would POST {"records": [...]} chunks from a real training loop.
+    stream = StreamSpec(analysis=analysis, cadence=100, patience=3)
+    session = client.call(
+        "/stream", {"spec": stream.to_dict(), "replay": True}
+    )["session"]
+    print(f"session {session['id']}: {session['epoch_iterations']}-iteration epoch")
+    while not session["converged"] and session["cursor"] < session["epoch_iterations"]:
+        session = client.call(
+            f"/stream/{session['id']}/feed", {"advance": 100}
+        )["session"]
+    final = client.call(f"/stream/{session['id']}/finish", method="POST")["result"]
+    print(
+        f"stream: converged={final['converged']} after "
+        f"{final['iterations_consumed']} iterations "
+        f"({len(final['checks'])} checks)\n"
+    )
+
+    # -- observability ------------------------------------------------
+    stats = client.call("/stats")
+    cache, queue = stats["cache"], stats["queue"]
+    print(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['entries']} entries, {cache['bytes']} bytes, "
+        f"{cache['evictions']} evictions"
+    )
+    print(f"queue: {queue['jobs']} jobs, states {queue['states']}")
+    slowest = max(
+        stats["latency"].items(), key=lambda item: item[1]["p99_ms"]
+    )
+    print(f"slowest endpoint: {slowest[0]} (p99 {slowest[1]['p99_ms']:.1f} ms)")

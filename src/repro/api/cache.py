@@ -21,6 +21,17 @@ Hit/miss counters make the reuse measurable (see
 ``get_or_compute`` calls for the same key simulate once, which is what
 lets :meth:`AnalysisEngine.run_many` deduplicate shared work.
 
+Long-running services (:mod:`repro.serve`) keep one cache alive across
+many requests, so the in-memory tier is bounded: construct with
+``max_bytes`` and/or ``max_entries`` and the cache accounts every
+resident trace's columnar footprint, admits new entries, and evicts
+least-recently-used ones until it is back under budget.  Eviction only
+drops the *memory* residency — the on-disk artefact (when a directory
+is configured) remains the backing store, so an evicted key reloads as
+a disk hit instead of re-simulating.  All counters (hits, misses,
+evictions, resident bytes) mutate under one lock, so concurrent
+sessions hammering a shared cache report exact numbers.
+
 Disk-backed caches additionally coordinate *across processes*: writes
 are atomic (temp file + rename, so readers never observe a partial
 artefact) and ``get_or_compute`` holds a per-key advisory file lock for
@@ -37,6 +48,7 @@ import hashlib
 import json
 import os
 import threading
+from collections import OrderedDict
 from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
 from pathlib import Path
@@ -49,17 +61,53 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.train.trace import TrainingTrace
 
-__all__ = ["TraceCache"]
+__all__ = ["TraceCache", "trace_nbytes"]
+
+#: Flat per-profile estimate: pooled profiles carry a CounterSet, a
+#: group-times dict, and a kernel-name set — small next to the columns.
+_PROFILE_NBYTES = 512
+
+
+def trace_nbytes(trace: TrainingTrace) -> int:
+    """Approximate in-memory footprint of a trace's columnar frame."""
+    frame = trace.frame()
+    columns = (
+        frame.index, frame.epoch, frame.seq_len,
+        frame.tgt_len, frame.time_s, frame.profile_id,
+    )
+    return sum(int(column.nbytes) for column in columns) + (
+        _PROFILE_NBYTES * len(frame.profiles)
+    )
 
 
 class TraceCache:
-    """Keyed store of :class:`TrainingTrace` artefacts."""
+    """Keyed store of :class:`TrainingTrace` artefacts.
 
-    def __init__(self, directory: str | Path | None = None):
+    ``max_bytes``/``max_entries`` bound the in-memory tier (LRU
+    eviction, counted in ``evictions``); ``None`` means unbounded, the
+    historical behaviour.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.directory = Path(directory) if directory is not None else None
-        self._memory: dict[str, TrainingTrace] = {}
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        #: key -> (trace, nbytes), least-recently-used first.
+        self._memory: OrderedDict[str, tuple[TrainingTrace, int]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
         self._lock = threading.Lock()
         self._key_locks: dict[str, threading.Lock] = {}
 
@@ -74,19 +122,40 @@ class TraceCache:
             return None
         return self.directory / f"{key}.json"
 
+    def _admit(self, key: str, trace: TrainingTrace) -> None:
+        """Insert ``key`` as most-recent and evict back under budget.
+
+        Caller holds ``self._lock``.  Eviction walks LRU-first and may,
+        when a single trace exceeds ``max_bytes`` on its own, refuse the
+        new entry itself — admission control for pathological inputs.
+        """
+        size = trace_nbytes(trace)
+        previous = self._memory.pop(key, None)
+        if previous is not None:
+            self.bytes -= previous[1]
+        self._memory[key] = (trace, size)
+        self.bytes += size
+        while self._memory and (
+            (self.max_bytes is not None and self.bytes > self.max_bytes)
+            or (self.max_entries is not None and len(self._memory) > self.max_entries)
+        ):
+            _, (_, evicted_size) = self._memory.popitem(last=False)
+            self.bytes -= evicted_size
+            self.evictions += 1
+
     def get(self, key: str) -> TrainingTrace | None:
         """Look ``key`` up (memory, then disk), counting the outcome."""
         with self._lock:
-            trace = self._memory.get(key)
-        if trace is not None:
-            with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
                 self.hits += 1
-            return trace
+                return entry[0]
         path = self._path(key)
         if path is not None and path.exists():
             trace = TrainingTrace.load(path)
             with self._lock:
-                self._memory[key] = trace
+                self._admit(key, trace)
                 self.hits += 1
             return trace
         with self._lock:
@@ -95,7 +164,7 @@ class TraceCache:
 
     def put(self, key: str, trace: TrainingTrace) -> None:
         with self._lock:
-            self._memory[key] = trace
+            self._admit(key, trace)
         path = self._path(key)
         if path is not None:
             # Write-then-rename so a concurrent reader either sees the
@@ -133,10 +202,11 @@ class TraceCache:
             # Memory hits skip the locks entirely: entries are immutable
             # once stored and writes land by atomic rename, so the fast
             # path can never observe a partial artefact.
-            trace = self._memory.get(key)
-            if trace is not None:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
                 self.hits += 1
-                return trace
+                return entry[0]
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock, self._file_lock(key):
             trace = self.get(key)
@@ -151,6 +221,8 @@ class TraceCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "entries": len(self._memory),
+                "evictions": self.evictions,
+                "bytes": self.bytes,
             }
 
     def clear(self) -> None:
@@ -159,6 +231,8 @@ class TraceCache:
             self._memory.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.bytes = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 ``repro configs``
     Print the Table II hardware configurations.
@@ -25,6 +25,14 @@ Six subcommands cover the common workflows:
     the selection stabilises — reporting iterations consumed vs the
     epoch length and the projection error vs the full-trace ground
     truth.
+
+``repro serve [--port 8742] [--workers 2] [--cache-dir DIR]``
+    The always-on analysis service: an HTTP/JSON daemon that accepts
+    analyze/sweep/stream jobs into an async queue, multiplexes
+    streaming identification sessions, and serves cache/queue/latency
+    metrics on ``/stats``.  ``--check`` runs a self-test instead of
+    serving: bind, self-request ``/stats``, run one tiny analyze job
+    end to end, and exit 0.
 
 ``repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
     Regenerate paper tables/figures (all by default) and print (or
@@ -267,6 +275,58 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist simulated traces to DIR and reuse them across runs",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on analysis service (HTTP/JSON daemon)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8742,
+        help="bind port; 0 picks an ephemeral port (default 8742)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="job worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--sweep-mode", choices=("serial", "process"), default="process",
+        help="how sweep jobs execute (default process)",
+    )
+    serve.add_argument(
+        "--sweep-workers", type=int, default=None,
+        help="processes per sweep job (default: all CPUs)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulated traces to DIR (shared across jobs and "
+        "sweep worker processes)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="in-memory trace cache budget in bytes (default unbounded)",
+    )
+    serve.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="in-memory trace cache entry budget (default unbounded)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="max jobs pending before submissions are refused "
+        "(default unbounded)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="max concurrently open streaming sessions (default unbounded)",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="smoke mode: bind, self-request /stats, run one tiny "
+        "analyze job end to end, then exit 0",
     )
 
     experiments = commands.add_parser(
@@ -653,6 +713,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_check(server: "object") -> int:
+    """Self-test an already-constructed server: stats + one tiny job."""
+    import time
+    import urllib.request
+
+    def request(path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        with urllib.request.urlopen(
+            urllib.request.Request(
+                f"{server.url}{path}",
+                data=data,
+                headers={"Content-Type": "application/json"},
+            ),
+            timeout=30,
+        ) as response:
+            return json.loads(response.read())
+
+    with server:
+        stats = request("/stats")
+        if not stats.get("ok"):
+            raise ReproError(f"/stats returned a failure envelope: {stats}")
+        spec = AnalysisSpec(network="gnmt", scale=0.02)
+        job = request(
+            "/jobs", {"kind": "analyze", "spec": spec.to_dict()}
+        )["job"]
+        deadline = time.monotonic() + 60
+        while job["state"] not in ("done", "failed", "cancelled"):
+            if time.monotonic() > deadline:
+                raise ReproError(
+                    f"check job {job['id']} still {job['state']} after 60s"
+                )
+            time.sleep(0.05)
+            job = request(f"/jobs/{job['id']}")["job"]
+        if job["state"] != "done":
+            error = job.get("error", {}).get("message", "no error recorded")
+            raise ReproError(f"check job {job['state']}: {error}")
+        result = request(f"/jobs/{job['id']}/result")["result"]
+        print(
+            f"serve check ok: {server.url} answered /stats and ran "
+            f"{job['id']} (gnmt scale 0.02, k={result['k']})"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer
+
+    try:
+        server = ReproServer(
+            args.host,
+            0 if args.check else args.port,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_entries=args.cache_max_entries,
+            workers=args.workers,
+            sweep_mode=args.sweep_mode,
+            sweep_workers=args.sweep_workers,
+            queue_depth=args.queue_depth,
+            max_sessions=args.max_sessions,
+        )
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        return _serve_check(server)
+    print(f"repro serve listening on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_experiments(scale: float, ids: str | None, output: str | None) -> int:
     available = registry()
     if ids is None:
@@ -695,6 +833,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "stream":
             return _cmd_stream(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_experiments(args.scale, args.ids, args.output)
     except ReproError as exc:
         # Deliberate library failures (bad ranges, unknown names) exit

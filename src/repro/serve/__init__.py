@@ -1,0 +1,65 @@
+"""repro.serve — the always-on analysis service.
+
+A stdlib-only HTTP/JSON daemon over the existing analysis engine:
+``analyze``/``sweep``/``stream`` requests become queued jobs executed
+by a worker tier against one shared, LRU-bounded
+:class:`~repro.api.cache.TraceCache`, and streaming identifications run
+as concurrent multiplexed sessions.  The wire format is the existing
+spec JSON round-trip (:class:`~repro.api.spec.AnalysisSpec`,
+:class:`~repro.api.spec.SweepSpec`, :class:`~repro.stream.spec.StreamSpec`)
+verbatim, inside versioned envelopes from :mod:`repro.serve.protocol`.
+
+Start it with ``repro serve`` or embed it::
+
+    from repro.serve import ReproServer
+
+    with ReproServer(port=0) as server:
+        ...  # POST /jobs against server.url
+"""
+
+from repro.serve.metrics import LatencyHistogram, MetricsRegistry, percentile
+from repro.serve.protocol import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    JobRequest,
+    NotFoundError,
+    ProtocolError,
+    error_envelope,
+    error_status,
+    ok_envelope,
+    one_line,
+    parse_job_submission,
+    parse_records,
+    parse_stream_open,
+)
+from repro.serve.queue import JOB_STATES, Job, JobCancelled, JobQueue
+from repro.serve.server import ReproServer, ServeApp
+from repro.serve.sessions import SessionManager, StreamSession
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "JobRequest",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NotFoundError",
+    "ProtocolError",
+    "ReproServer",
+    "ServeApp",
+    "SessionManager",
+    "StreamSession",
+    "WorkerPool",
+    "error_envelope",
+    "error_status",
+    "ok_envelope",
+    "one_line",
+    "parse_job_submission",
+    "parse_records",
+    "parse_stream_open",
+    "percentile",
+]

@@ -21,6 +21,7 @@ executes one, and ``repro stream`` is the same path from the shell.
 from repro.stream.feed import FrameSlice, TraceReplayFeed, replay
 from repro.stream.identifier import (
     ConvergenceCheck,
+    IdentificationSession,
     StreamingIdentifier,
     StreamingRun,
 )
@@ -30,6 +31,7 @@ from repro.stream.stats import StreamingSlStatistics
 __all__ = [
     "ConvergenceCheck",
     "FrameSlice",
+    "IdentificationSession",
     "StreamSpec",
     "StreamingIdentifier",
     "StreamingRun",

@@ -37,7 +37,12 @@ from repro.stream.feed import FrameSlice
 from repro.stream.stats import StreamingSlStatistics
 from repro.util.stats import percent_error
 
-__all__ = ["ConvergenceCheck", "StreamingIdentifier", "StreamingRun"]
+__all__ = [
+    "ConvergenceCheck",
+    "IdentificationSession",
+    "StreamingIdentifier",
+    "StreamingRun",
+]
 
 
 @dataclass(frozen=True)
@@ -195,19 +200,37 @@ class StreamingIdentifier:
         land on exact cadence boundaries.  Pass ``stats`` to resume an
         accumulator that already absorbed earlier arrivals.
         """
-        state = _LoopState(self, stats)
+        session = self.begin(stats)
         for chunk in feed:
-            if isinstance(chunk, FrameSlice):
-                converged = state.absorb_slice(chunk)
-            else:
-                converged = state.absorb_records(chunk)
-            if converged:
+            if session.absorb(chunk):
                 break
-        return state.finish()
+        return session.finish()
+
+    def begin(
+        self, stats: StreamingSlStatistics | None = None
+    ) -> "IdentificationSession":
+        """Open an incremental session for arrivals pushed by the caller.
+
+        Where :meth:`run` pulls an entire feed, a session is fed chunk
+        by chunk (:meth:`IdentificationSession.absorb`) — the shape a
+        long-running service needs when producers POST arrivals at
+        their own pace — and :meth:`IdentificationSession.finish`
+        closes it with the exact accounting ``run`` would produce on
+        the same arrival sequence.
+        """
+        return IdentificationSession(self, stats)
 
 
-class _LoopState:
-    """Mutable per-run state of one streaming identification."""
+class IdentificationSession:
+    """Mutable state of one streaming identification, fed explicitly.
+
+    Produced by :meth:`StreamingIdentifier.begin`.  ``absorb`` returns
+    ``True`` once the selection has converged (further chunks are
+    ignored by convention, not enforcement); ``finish`` runs the final
+    off-boundary check and packages a :class:`StreamingRun`.  Driving a
+    session chunk-for-chunk is bit-identical to :meth:`StreamingIdentifier.run`
+    over the concatenation of the same chunks.
+    """
 
     def __init__(self, identifier: StreamingIdentifier, stats):
         self.identifier = identifier
@@ -219,6 +242,22 @@ class _LoopState:
         self.previous_means: dict[int, float] = {}
         self.outcome = None
         self.converged = False
+
+    @property
+    def iterations_consumed(self) -> int:
+        return len(self.stats)
+
+    def absorb(self, chunk: Any) -> bool:
+        """Absorb one chunk (a :class:`FrameSlice` or record iterable).
+
+        Returns ``True`` once convergence has been declared — on this
+        chunk or a previous one.
+        """
+        if self.converged:
+            return True
+        if isinstance(chunk, FrameSlice):
+            return self.absorb_slice(chunk)
+        return self.absorb_records(chunk)
 
     def _next_boundary(self) -> int:
         """The next iteration count at which a check may fire.

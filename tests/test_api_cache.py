@@ -1,6 +1,10 @@
 """Unit tests for the content-addressed trace cache."""
 
-from repro.api.cache import TraceCache
+import threading
+
+import pytest
+
+from repro.api.cache import TraceCache, trace_nbytes
 
 from tests.conftest import make_trace
 
@@ -27,11 +31,16 @@ class TestMemory:
     def test_miss_then_hit(self):
         cache = TraceCache()
         assert cache.get("k") is None
-        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "entries": 0, "evictions": 0, "bytes": 0,
+        }
         trace = small_trace()
         cache.put("k", trace)
         assert cache.get("k") is trace
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "entries": 1, "evictions": 0,
+            "bytes": trace_nbytes(trace),
+        }
 
     def test_get_or_compute_runs_once(self):
         cache = TraceCache()
@@ -61,7 +70,9 @@ class TestMemory:
         cache.get("k")
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "entries": 0, "evictions": 0, "bytes": 0,
+        }
 
 
 class TestDisk:
@@ -94,3 +105,103 @@ class TestDisk:
         cache.put("k", small_trace())
         cache.clear()
         assert cache.get("k") is not None
+
+
+class TestEviction:
+    def test_rejects_nonpositive_budgets(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=-1)
+
+    def test_byte_accounting_tracks_entries(self):
+        cache = TraceCache()
+        one, two = small_trace(), small_trace(2.0)
+        cache.put("a", one)
+        cache.put("b", two)
+        assert cache.bytes == trace_nbytes(one) + trace_nbytes(two)
+        # Re-putting a key replaces its accounting, not double-counts it.
+        cache.put("a", one)
+        assert cache.bytes == trace_nbytes(one) + trace_nbytes(two)
+
+    def test_lru_eviction_by_entries(self):
+        cache = TraceCache(max_entries=2)
+        cache.put("a", small_trace())
+        cache.put("b", small_trace())
+        cache.get("a")  # refresh a: b is now least recently used
+        cache.put("c", small_trace())
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+
+    def test_lru_eviction_by_bytes(self):
+        entry = trace_nbytes(small_trace())
+        cache = TraceCache(max_bytes=2 * entry)
+        cache.put("a", small_trace())
+        cache.put("b", small_trace())
+        assert cache.stats()["evictions"] == 0
+        cache.put("c", small_trace())
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] <= 2 * entry
+        assert "a" not in cache
+
+    def test_oversized_entry_is_not_admitted(self):
+        trace = small_trace()
+        cache = TraceCache(max_bytes=max(1, trace_nbytes(trace) // 2))
+        cache.put("huge", trace)
+        assert len(cache) == 0
+        assert cache.stats()["bytes"] == 0
+        assert cache.stats()["evictions"] == 1
+
+    def test_evicted_entry_reloads_from_disk(self, tmp_path):
+        cache = TraceCache(tmp_path, max_entries=1)
+        cache.put("a", small_trace())
+        cache.put("b", small_trace())  # evicts a from memory only
+        assert cache.stats()["evictions"] == 1
+        assert cache.get("a") is not None  # disk hit re-admits
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 0
+
+
+class TestCounterThreadSafety:
+    def test_concurrent_hits_count_exactly(self):
+        cache = TraceCache()
+        cache.put("k", small_trace())
+        rounds, threads = 200, 8
+
+        def hammer():
+            for _ in range(rounds):
+                assert cache.get("k") is not None
+                cache.get("missing")
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        stats = cache.stats()
+        assert stats["hits"] == rounds * threads
+        assert stats["misses"] == rounds * threads
+
+    def test_concurrent_eviction_accounting_is_exact(self):
+        entry = trace_nbytes(small_trace())
+        cache = TraceCache(max_bytes=3 * entry)
+
+        def churn(worker: int):
+            for index in range(50):
+                cache.put(f"w{worker}-{index}", small_trace())
+
+        pool = [threading.Thread(target=churn, args=(w,)) for w in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        stats = cache.stats()
+        # Whatever interleaving happened, the books must balance:
+        # resident bytes equal the per-entry size times entries, and
+        # every non-resident put was counted as an eviction.
+        assert stats["bytes"] == entry * stats["entries"]
+        assert stats["evictions"] == 200 - stats["entries"]
+        assert stats["bytes"] <= 3 * entry

@@ -402,3 +402,41 @@ class TestParser:
     def test_subcommand_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServe:
+    def test_check_smoke(self, capsys):
+        """`repro serve --check` binds, self-requests, runs one job."""
+        assert main(["serve", "--check", "--sweep-mode", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "serve check ok" in out
+        assert "/stats" in out
+
+    def test_check_with_disk_cache_and_budgets(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--check", "--sweep-mode", "serial",
+             "--cache-dir", str(tmp_path / "traces"),
+             "--cache-max-entries", "4", "--workers", "1"]
+        ) == 0
+        assert "serve check ok" in capsys.readouterr().out
+        assert (tmp_path / "traces").is_dir()
+
+    def test_bad_worker_count_exits_2(self, capsys):
+        assert main(["serve", "--check", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "workers must be positive" in err
+
+    def test_bad_cache_budget_exits_2(self, capsys):
+        assert main(["serve", "--check", "--cache-max-bytes", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "max_bytes" in err
+
+    def test_unresolvable_host_exits_2(self, capsys):
+        assert main(
+            ["serve", "--check", "--host", "invalid.host.invalid"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cannot bind" in err

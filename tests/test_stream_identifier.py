@@ -247,3 +247,56 @@ class TestFeeds:
         slices = list(feed)
         assert [(s.start, s.stop) for s in slices] == [(0, 3), (3, 6), (6, 8)]
         assert list(feed), "feed must be re-iterable"
+
+
+class TestIdentificationSession:
+    """begin()/absorb()/finish() must match run() chunk for chunk."""
+
+    def test_session_matches_run_bit_for_bit(self):
+        frame = periodic_trace(40).frame()
+        identifier = StreamingIdentifier(SeqPointSelector(), cadence=16, patience=3)
+        pulled = identifier.run(replay(frame, chunk_size=5))
+
+        session = identifier.begin(StreamingSlStatistics.for_frame(frame))
+        converged = False
+        for chunk in replay(frame, chunk_size=5):
+            if session.absorb(chunk):
+                converged = True
+                break
+        pushed = session.finish()
+        assert converged == pushed.converged == pulled.converged
+        assert pushed.iterations_consumed == pulled.iterations_consumed
+        assert [c.to_dict() for c in pushed.checks] == [
+            c.to_dict() for c in pulled.checks
+        ]
+        assert pushed.identification_error_pct == pulled.identification_error_pct
+        assert pushed.projected_prefix_total_s == pulled.projected_prefix_total_s
+
+    def test_session_accepts_record_chunks(self):
+        records = periodic_trace(30).records
+        identifier = StreamingIdentifier(SeqPointSelector(), cadence=12, patience=2)
+        session = identifier.begin()
+        for start in range(0, len(records), 7):
+            if session.absorb(records[start : start + 7]):
+                break
+        run = session.finish()
+        reference = identifier.run([records])
+        assert run.converged == reference.converged
+        assert run.iterations_consumed == reference.iterations_consumed
+        assert run.selection.method == reference.selection.method
+
+    def test_absorb_after_convergence_is_a_noop(self):
+        frame = periodic_trace(40).frame()
+        identifier = StreamingIdentifier(SeqPointSelector(), cadence=8, patience=2)
+        session = identifier.begin(StreamingSlStatistics.for_frame(frame))
+        chunks = iter(replay(frame, chunk_size=8))
+        while not session.absorb(next(chunks)):
+            pass
+        consumed = session.iterations_consumed
+        assert session.absorb(next(chunks)) is True
+        assert session.iterations_consumed == consumed
+
+    def test_finish_empty_session_raises(self):
+        session = StreamingIdentifier(SeqPointSelector()).begin()
+        with pytest.raises(ConfigurationError):
+            session.finish()
