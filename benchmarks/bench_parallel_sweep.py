@@ -28,9 +28,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 from repro.api import AnalysisEngine, SweepSpec, run_sweep
+from repro.models.plan import PLAN_CACHE
 
 
 def build_sweep(scale: float, seeds: int, networks: tuple[str, ...] = ("gnmt",)) -> SweepSpec:
@@ -62,6 +65,58 @@ def run_comparison(scale: float, seeds: int, workers: int):
     return serial_s, parallel_s, len(serial.results), serial.unique_traces
 
 
+def run_plan_store(scale: float, seeds: int, workers: int):
+    """Cold vs warm cross-process plan store over a spawn-pool sweep.
+
+    The cold pass fans workers out over an empty store (every unique
+    plan lowered exactly once machine-wide, then published); the warm
+    pass reruns the grid with fresh trace caches and fresh worker
+    processes over the now-populated store, so every lowering is an
+    mmap load.  Bit-identity and publish-exactly-once (no artefact
+    rewritten on the warm pass) are asserted.
+    """
+    sweep = build_sweep(scale, seeds)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "plans"
+        PLAN_CACHE.clear()
+        start = time.perf_counter()
+        cold = run_sweep(
+            sweep, mode="process", workers=workers,
+            cache_dir=Path(tmp) / "cold", plan_store_dir=store_dir,
+        )
+        cold_s = time.perf_counter() - start
+        artefacts = {
+            path.name: path.stat().st_mtime_ns
+            for path in store_dir.glob("*.npt")
+        }
+        assert artefacts, "plan store stayed empty"
+        PLAN_CACHE.clear()
+        start = time.perf_counter()
+        warm = run_sweep(
+            sweep, mode="process", workers=workers,
+            cache_dir=Path(tmp) / "warm", plan_store_dir=store_dir,
+        )
+        warm_s = time.perf_counter() - start
+        assert [r.to_dict() for r in warm.results] == [
+            r.to_dict() for r in cold.results
+        ], "warm plan store diverged from the cold pass"
+        assert {
+            path.name: path.stat().st_mtime_ns
+            for path in store_dir.glob("*.npt")
+        } == artefacts, "warm pass rewrote a published plan artefact"
+    return cold_s, warm_s, len(artefacts)
+
+
+def report_plan_store(cold_s, warm_s, plans, workers):
+    speedup = cold_s / warm_s
+    print(f"plan store: {plans} unique lowerings shared machine-wide")
+    print(
+        f"  cold store ({workers} workers) {cold_s * 1e3:8.1f} ms\n"
+        f"  warm store ({workers} workers) {warm_s * 1e3:8.1f} ms   ({speedup:.2f}x)"
+    )
+    return speedup
+
+
 def report(serial_s, parallel_s, points, unique, workers):
     speedup = serial_s / parallel_s
     print(f"{points}-point sweep, {unique} unique epoch traces")
@@ -91,6 +146,8 @@ def main(argv=None) -> int:
         args.scale, args.seeds, args.workers
     )
     speedup = report(serial_s, parallel_s, points, unique, args.workers)
+    cold_s, warm_s, plans = run_plan_store(args.scale, args.seeds, args.workers)
+    report_plan_store(cold_s, warm_s, plans, args.workers)
 
     if args.json is not None:
         payload = {
@@ -102,6 +159,12 @@ def main(argv=None) -> int:
                     "name": f"process[{args.workers}]",
                     "seconds": parallel_s,
                     "speedup": speedup,
+                },
+                {"name": "plan_store_cold", "seconds": cold_s, "speedup": 1.0},
+                {
+                    "name": "plan_store_warm",
+                    "seconds": warm_s,
+                    "speedup": cold_s / warm_s,
                 },
             ],
         }
@@ -126,6 +189,15 @@ def main(argv=None) -> int:
 def test_parallel_sweep_matches_serial(scale):
     """Pytest entry: process-pool results must equal the serial loop."""
     run_comparison(scale=min(scale, 0.05), seeds=2, workers=2)
+
+
+def test_plan_store_cold_warm_bit_identity(scale):
+    """Pytest entry: warm plan-store sweeps must equal the cold pass."""
+    cold_s, warm_s, plans = run_plan_store(
+        scale=min(scale, 0.05), seeds=2, workers=2
+    )
+    assert plans > 0
+    assert cold_s > 0 and warm_s > 0
 
 
 if __name__ == "__main__":

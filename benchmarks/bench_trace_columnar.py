@@ -41,9 +41,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
+from pathlib import Path
 
 from repro.api.registry import DATASETS, MODELS, build_batching
+from repro.train.frame import TraceFrame
 from repro.core.baselines import FrequentSelector, MedianSelector, PriorSelector
 from repro.core.seqpoint import SeqPointSelector
 from repro.core.sl_stats import SlStatistics
@@ -225,6 +228,46 @@ def run_comparison(network: str, scale: float, epochs: int, sigma: float):
     return (cold_legacy, cold_columnar), legacy_times, columnar_times, iterations, unique
 
 
+def run_cold_load(network: str, scale: float, sigma: float, repeats: int = 5):
+    """Cold artefact loads: v2 JSON parse vs v3 binary mmap + views.
+
+    Saves one simulated epoch in both formats, times ``repeats`` cold
+    :meth:`TraceFrame.load` calls of each (best-of, to shave scheduler
+    noise), and asserts the loaded frames are payload-bit-identical.
+    """
+    sim = build_simulator(network, scale, sigma)
+    frame = sim.run_epoch_frame(epoch=0, include_eval=False)
+    expected = json.dumps(frame.to_payload(), sort_keys=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        artefacts = (
+            ("json", Path(tmp) / "epoch.json", 2),
+            ("binary", Path(tmp) / "epoch.npt", 3),
+        )
+        for _, path, version in artefacts:
+            frame.save(path, version=version)
+        times: dict[str, float] = {}
+        for fmt, path, _ in artefacts:
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                loaded = TraceFrame.load(path)
+                samples.append(time.perf_counter() - start)
+            assert json.dumps(loaded.to_payload(), sort_keys=True) == expected
+            times[fmt] = min(samples)
+    return len(frame), times["json"], times["binary"]
+
+
+def report_cold_load(network, iterations, json_s, binary_s):
+    speedup = json_s / binary_s
+    print(
+        f"  cold artefact load ({iterations} iterations):      "
+        f"json v2  {json_s * 1e3:8.1f} ms   "
+        f"binary v3 {binary_s * 1e3:8.1f} ms   "
+        f"({speedup:.2f}x)"
+    )
+    return speedup
+
+
 def report(network, cold, legacy_times, columnar_times, iterations, unique):
     cold_legacy, cold_columnar = cold
     steady_legacy = sum(legacy_times)
@@ -267,6 +310,7 @@ def main(argv=None) -> int:
         args.scale, args.epochs = 0.05, 2
 
     worst = float("inf")
+    worst_load = float("inf")
     entries = []
     for network in args.networks.split(","):
         outcome = run_comparison(network, args.scale, args.epochs, args.sigma)
@@ -281,6 +325,20 @@ def main(argv=None) -> int:
             {"name": f"{network}_steady_columnar", "seconds": steady_columnar,
              "speedup": steady_legacy / steady_columnar}
         )
+        iterations, json_s, binary_s = run_cold_load(
+            network, args.scale, args.sigma
+        )
+        worst_load = min(
+            worst_load, report_cold_load(network, iterations, json_s, binary_s)
+        )
+        entries.append(
+            {"name": f"{network}_cold_load_json", "seconds": json_s,
+             "speedup": 1.0}
+        )
+        entries.append(
+            {"name": f"{network}_cold_load_binary", "seconds": binary_s,
+             "speedup": json_s / binary_s}
+        )
     if args.json is not None:
         payload = {"bench": "trace_columnar", "scale": args.scale, "results": entries}
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -290,7 +348,16 @@ def main(argv=None) -> int:
     if not args.smoke and worst < 3.0:
         print(f"WARNING: steady-state speedup {worst:.2f}x below the 3x target")
         return 1
+    if not args.smoke and worst_load < 5.0:
+        print(f"WARNING: cold-load speedup {worst_load:.2f}x below the 5x target")
+        return 1
     return 0
+
+
+def test_cold_load_binary_beats_json(scale):
+    """Pytest entry: v3 binary cold loads must beat v2 JSON parsing."""
+    _, json_s, binary_s = run_cold_load("gnmt", max(scale, 0.2), sigma=0.0)
+    assert binary_s < json_s, f"binary {binary_s:.4f}s vs json {json_s:.4f}s"
 
 
 def test_columnar_steady_state_speedup(scale):

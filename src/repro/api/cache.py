@@ -12,9 +12,12 @@ optional on-disk store of the trace's JSON artefact.
 Cached traces are frame-backed views: in memory they carry their
 columnar :class:`~repro.train.frame.TraceFrame` (shared by every
 analysis that hits the entry, including the memoised per-SL grouping),
-and on disk they persist as the compact columnar
-``repro.training-trace.v2`` schema.  Cache directories written before
-the columnar refactor (v1 artefacts) load transparently.
+and on disk they persist as binary columnar ``.npt`` containers whose
+cold load is an mmap plus dtype views — concurrent sweep workers and
+serve sessions reading one entry share page cache instead of each
+parsing a private copy, and byte accounting uses the real file size.
+Cache directories written before the binary format (v2/v1 JSON
+artefacts) load transparently; new writes are always binary.
 
 Hit/miss counters make the reuse measurable (see
 ``benchmarks/bench_api_cache.py``); per-key locks make concurrent
@@ -48,18 +51,15 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
-try:  # POSIX advisory locks; absent on some platforms.
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
-
 from repro.train.trace import TrainingTrace
+from repro.util.filelock import file_lock
 
 __all__ = ["TraceCache", "trace_nbytes"]
 
@@ -69,8 +69,17 @@ _PROFILE_NBYTES = 512
 
 
 def trace_nbytes(trace: TrainingTrace) -> int:
-    """Approximate in-memory footprint of a trace's columnar frame."""
+    """Footprint of a trace's columnar frame, in bytes.
+
+    Frames backed by a binary container report the container's real
+    on-disk size (the columns are views into that mapping, so the
+    mapping *is* the footprint).  Purely in-memory frames fall back to
+    summing column buffers plus a flat per-profile estimate.
+    """
     frame = trace.frame()
+    storage = frame.storage
+    if storage is not None:
+        return int(storage.nbytes)
     columns = (
         frame.index, frame.epoch, frame.seq_len,
         frame.tgt_len, frame.time_s, frame.profile_id,
@@ -110,6 +119,8 @@ class TraceCache:
         self.bytes = 0
         self._lock = threading.Lock()
         self._key_locks: dict[str, threading.Lock] = {}
+        #: format -> {"count", "seconds", "max_s"} for cold disk loads.
+        self._loads: dict[str, dict[str, float]] = {}
 
     @staticmethod
     def key_for(fingerprint: Mapping[str, Any]) -> str:
@@ -118,18 +129,26 @@ class TraceCache:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path | None:
+        """Legacy JSON artefact path (read-only compatibility tier)."""
         if self.directory is None:
             return None
         return self.directory / f"{key}.json"
 
-    def _admit(self, key: str, trace: TrainingTrace) -> None:
+    def _npt_path(self, key: str) -> Path | None:
+        """Binary columnar artefact path (the write format)."""
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.npt"
+
+    def _admit(self, key: str, trace: TrainingTrace, size: int | None = None) -> None:
         """Insert ``key`` as most-recent and evict back under budget.
 
         Caller holds ``self._lock``.  Eviction walks LRU-first and may,
         when a single trace exceeds ``max_bytes`` on its own, refuse the
         new entry itself — admission control for pathological inputs.
         """
-        size = trace_nbytes(trace)
+        if size is None:
+            size = trace_nbytes(trace)
         previous = self._memory.pop(key, None)
         if previous is not None:
             self.bytes -= previous[1]
@@ -143,50 +162,61 @@ class TraceCache:
             self.bytes -= evicted_size
             self.evictions += 1
 
+    def _record_load(self, fmt: str, seconds: float) -> None:
+        """Account one cold disk load (caller holds ``self._lock``)."""
+        entry = self._loads.setdefault(
+            fmt, {"count": 0, "seconds": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["seconds"] += seconds
+        entry["max_s"] = max(entry["max_s"], seconds)
+
     def get(self, key: str) -> TrainingTrace | None:
-        """Look ``key`` up (memory, then disk), counting the outcome."""
+        """Look ``key`` up (memory, then disk), counting the outcome.
+
+        The disk tier prefers the binary ``.npt`` artefact (mmap +
+        views) and falls back to legacy JSON; cold-load latency is
+        recorded per format for :meth:`storage_stats`.
+        """
         with self._lock:
             entry = self._memory.get(key)
             if entry is not None:
                 self._memory.move_to_end(key)
                 self.hits += 1
                 return entry[0]
-        path = self._path(key)
-        if path is not None and path.exists():
-            trace = TrainingTrace.load(path)
-            with self._lock:
-                self._admit(key, trace)
-                self.hits += 1
-            return trace
+        for path, fmt in ((self._npt_path(key), "binary"), (self._path(key), "json")):
+            if path is not None and path.exists():
+                started = time.perf_counter()
+                trace = TrainingTrace.load(path)
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self._admit(key, trace)
+                    self._record_load(fmt, elapsed)
+                    self.hits += 1
+                return trace
         with self._lock:
             self.misses += 1
         return None
 
     def put(self, key: str, trace: TrainingTrace) -> None:
-        with self._lock:
-            self._admit(key, trace)
-        path = self._path(key)
+        path = self._npt_path(key)
+        size = None
         if path is not None:
             # Write-then-rename so a concurrent reader either sees the
             # previous artefact or the complete new one, never a prefix.
             staging = path.with_name(f"{path.name}.{os.getpid()}.tmp")
             trace.save(staging)
+            # Honest byte accounting: charge the real artefact size.
+            size = staging.stat().st_size
             os.replace(staging, path)
+        with self._lock:
+            self._admit(key, trace, size)
 
     @contextmanager
     def _file_lock(self, key: str) -> Iterator[None]:
         """Exclusive inter-process lock for ``key`` (disk caches only)."""
-        if self.directory is None or fcntl is None:
+        with file_lock(self.directory, key):
             yield
-            return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        lock_path = self.directory / f"{key}.lock"
-        with lock_path.open("a") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def get_or_compute(
         self, key: str, compute: Callable[[], TrainingTrace]
@@ -225,6 +255,25 @@ class TraceCache:
                 "bytes": self.bytes,
             }
 
+    def storage_stats(self) -> dict[str, Any]:
+        """Disk-tier observability: entry counts and cold-load latency.
+
+        Separate from :meth:`stats` (whose exact shape is API) — this
+        reports per-format on-disk entry counts and the cold-load
+        counters accumulated by :meth:`get`.
+        """
+        disk_entries = {"json": 0, "binary": 0}
+        if self.directory is not None and self.directory.is_dir():
+            disk_entries["json"] = sum(1 for _ in self.directory.glob("*.json"))
+            disk_entries["binary"] = sum(1 for _ in self.directory.glob("*.npt"))
+        with self._lock:
+            cold_loads = {fmt: dict(entry) for fmt, entry in self._loads.items()}
+        return {
+            "directory": None if self.directory is None else str(self.directory),
+            "disk_entries": disk_entries,
+            "cold_loads": cold_loads,
+        }
+
     def clear(self) -> None:
         """Drop in-memory entries and counters (disk files are kept)."""
         with self._lock:
@@ -233,6 +282,7 @@ class TraceCache:
             self.misses = 0
             self.evictions = 0
             self.bytes = 0
+            self._loads = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -242,5 +292,9 @@ class TraceCache:
         with self._lock:
             if key in self._memory:
                 return True
-        path = self._path(key) if isinstance(key, str) else None
-        return path is not None and path.exists()
+        if not isinstance(key, str):
+            return False
+        for path in (self._npt_path(key), self._path(key)):
+            if path is not None and path.exists():
+                return True
+        return False

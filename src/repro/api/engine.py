@@ -521,19 +521,26 @@ class AnalysisEngine:
         mode: str = "process",
         workers: int | None = None,
         cache_dir: "str | None" = None,
+        plan_store_dir: "str | None" = None,
     ) -> "Any":
         """Execute a :class:`~repro.api.parallel.SweepSpec` grid.
 
         Process mode shares this engine's on-disk cache directory with
         the workers (falling back to ``cache_dir`` or a per-sweep
         temporary directory for memory-only caches); serial and thread
-        modes run on this engine directly.  See
+        modes run on this engine directly.  ``plan_store_dir`` shares
+        compiled lowerings machine-wide.  See
         :func:`repro.api.parallel.run_sweep`.
         """
         from repro.api.parallel import run_sweep
 
         return run_sweep(
-            sweep, engine=self, mode=mode, workers=workers, cache_dir=cache_dir
+            sweep,
+            engine=self,
+            mode=mode,
+            workers=workers,
+            cache_dir=cache_dir,
+            plan_store_dir=plan_store_dir,
         )
 
 

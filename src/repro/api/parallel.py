@@ -46,6 +46,7 @@ from repro.api.cache import TraceCache
 from repro.api.engine import NOISE_SIGMA, AnalysisEngine, AnalysisResult, trace_key
 from repro.api.spec import DEFAULT_BATCH_SIZE, AnalysisSpec, ProjectionSpec, _freeze_kwargs
 from repro.errors import ConfigurationError
+from repro.models.plan import PLAN_CACHE, PlanStore
 
 __all__ = ["SweepSpec", "SweepPlan", "SweepRun", "plan_sweep", "run_sweep", "SWEEP_MODES"]
 
@@ -285,9 +286,16 @@ class SweepRun:
 _WORKER_ENGINE: AnalysisEngine | None = None
 
 
-def _worker_init(cache_dir: str, noise_sigma: float) -> None:
+def _worker_init(
+    cache_dir: str, noise_sigma: float, plan_store_dir: str | None = None
+) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = AnalysisEngine(cache=TraceCache(cache_dir), noise_sigma=noise_sigma)
+    if plan_store_dir is not None:
+        # Every worker in the pool shares one on-disk plan store, so
+        # each unique lowering happens once machine-wide, not once per
+        # spawned interpreter.
+        PLAN_CACHE.attach_store(PlanStore(plan_store_dir))
 
 
 def _worker_simulate(payload: dict[str, Any]) -> str:
@@ -312,6 +320,7 @@ def _run_process(
     directory: Path,
     workers: int,
     noise_sigma: float,
+    plan_store_dir: str | None = None,
 ) -> tuple[AnalysisResult, ...]:
     context = multiprocessing.get_context("spawn")
     projection_payload = None if plan.projection is None else plan.projection.to_dict()
@@ -319,7 +328,7 @@ def _run_process(
         max_workers=workers,
         mp_context=context,
         initializer=_worker_init,
-        initargs=(str(directory), noise_sigma),
+        initargs=(str(directory), noise_sigma, plan_store_dir),
     ) as pool:
         # Phase 1: every unique epoch exactly once, spread over the pool.
         list(pool.map(_worker_simulate, [spec.to_dict() for spec in plan.simulations]))
@@ -339,6 +348,7 @@ def run_sweep(
     mode: str = "process",
     workers: int | None = None,
     cache_dir: str | Path | None = None,
+    plan_store_dir: str | Path | None = None,
 ) -> SweepRun:
     """Execute a sweep; results in :meth:`SweepSpec.expand` order.
 
@@ -358,6 +368,12 @@ def run_sweep(
     package, so they only see components registered at import time;
     sweeps over models/selectors registered dynamically at runtime
     must use ``mode="thread"`` or ``"serial"``.
+
+    ``plan_store_dir``, when given, names a shared on-disk
+    :class:`~repro.models.plan.PlanStore`: every worker (or, in
+    serial/thread modes, the in-process plan cache for the duration of
+    the sweep) resolves plan-cache misses through it, so each unique
+    lowering happens once per machine rather than once per process.
     """
     if mode not in SWEEP_MODES:
         raise ConfigurationError(
@@ -381,24 +397,41 @@ def run_sweep(
             staging = tempfile.TemporaryDirectory(prefix="repro-sweep-")
             directory = Path(staging.name)
         try:
-            results = _run_process(plan, directory, workers, noise_sigma)
+            results = _run_process(
+                plan,
+                directory,
+                workers,
+                noise_sigma,
+                None if plan_store_dir is None else str(plan_store_dir),
+            )
         finally:
             if staging is not None:
                 staging.cleanup()
     else:
         if engine is None:
             engine = AnalysisEngine(cache=TraceCache(cache_dir), noise_sigma=noise_sigma)
-        if mode == "thread":
-            pool_size = min(workers, len(plan.simulations)) or 1
-            with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                list(pool.map(engine.trace_for, plan.simulations))
-            results = tuple(
-                engine.run_many(list(plan.points), plan.projection, max_workers=workers)
-            )
-        else:
-            for simulation in plan.simulations:
-                engine.trace_for(simulation)
-            results = tuple(engine.run(point, plan.projection) for point in plan.points)
+        # Scope the store to this sweep: restore whatever was attached
+        # before (tests and nested callers rely on this not leaking).
+        previous = (
+            PLAN_CACHE.attach_store(PlanStore(plan_store_dir))
+            if plan_store_dir is not None
+            else None
+        )
+        try:
+            if mode == "thread":
+                pool_size = min(workers, len(plan.simulations)) or 1
+                with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                    list(pool.map(engine.trace_for, plan.simulations))
+                results = tuple(
+                    engine.run_many(list(plan.points), plan.projection, max_workers=workers)
+                )
+            else:
+                for simulation in plan.simulations:
+                    engine.trace_for(simulation)
+                results = tuple(engine.run(point, plan.projection) for point in plan.points)
+        finally:
+            if plan_store_dir is not None:
+                PLAN_CACHE.attach_store(previous)
 
     return SweepRun(
         sweep=sweep,

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows:
+Eight subcommands cover the common workflows:
 
 ``repro configs``
     Print the Table II hardware configurations.
@@ -33,6 +33,11 @@ Seven subcommands cover the common workflows:
     metrics on ``/stats``.  ``--check`` runs a self-test instead of
     serving: bind, self-request ``/stats``, run one tiny analyze job
     end to end, and exit 0.
+
+``repro trace convert SOURCE DEST [--to 3]``
+    Migrate a trace artefact between storage versions (v1/v2 JSON and
+    the v3 binary columnar container), verifying the converted file
+    reloads bit-identically before reporting success.
 
 ``repro experiments [--scale 0.1] [--ids fig11,fig12] [--output F]``
     Regenerate paper tables/figures (all by default) and print (or
@@ -202,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared on-disk trace cache (default: a per-sweep temp dir)",
     )
     sweep.add_argument(
+        "--plan-store-dir", default=None, metavar="DIR",
+        help="shared on-disk plan store: each unique lowering compiles "
+        "once per machine instead of once per worker process",
+    )
+    sweep.add_argument(
         "--format", choices=("table", "json"), default="table",
         help="output format (default table)",
     )
@@ -307,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep worker processes)",
     )
     serve.add_argument(
+        "--plan-store-dir", default=None, metavar="DIR",
+        help="shared on-disk plan store for the daemon and its sweep "
+        "worker processes",
+    )
+    serve.add_argument(
         "--cache-max-bytes", type=int, default=None,
         help="in-memory trace cache budget in bytes (default unbounded)",
     )
@@ -327,6 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="smoke mode: bind, self-request /stats, run one tiny "
         "analyze job end to end, then exit 0",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="manage on-disk trace artefacts"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    convert = trace_commands.add_parser(
+        "convert",
+        help="convert a trace artefact between storage format versions",
+    )
+    convert.add_argument("source", help="existing trace artefact (v1/v2/v3)")
+    convert.add_argument("dest", help="output path")
+    convert.add_argument(
+        "--to", type=int, default=3, dest="to_version", metavar="VERSION",
+        help="output format version: 3 binary columnar (default), "
+        "2 columnar JSON, 1 row JSON",
     )
 
     experiments = commands.add_parser(
@@ -700,6 +731,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             mode=args.mode,
             workers=args.workers,
             cache_dir=args.cache_dir,
+            plan_store_dir=args.plan_store_dir,
         )
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"sweep: {exc}", file=sys.stderr)
@@ -772,6 +804,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             sweep_workers=args.sweep_workers,
             queue_depth=args.queue_depth,
             max_sessions=args.max_sessions,
+            plan_store_dir=args.plan_store_dir,
         )
     except OSError as exc:
         print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -788,6 +821,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Convert a trace artefact between versions, verifying bit-identity."""
+    from repro.train.trace import TrainingTrace
+
+    try:
+        trace = TrainingTrace.load(args.source)
+        original = json.dumps(trace.frame().to_payload(), sort_keys=True)
+        trace.save(args.dest, version=args.to_version)
+        reloaded = TrainingTrace.load(args.dest)
+        if json.dumps(reloaded.frame().to_payload(), sort_keys=True) != original:
+            raise ReproError(
+                f"{args.dest}: round-trip mismatch — converted artefact "
+                "does not reload bit-identically"
+            )
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"converted {args.source} -> {args.dest} "
+        f"(v{args.to_version}, {len(trace.frame())} iterations, "
+        "round trip verified)"
+    )
     return 0
 
 
@@ -835,6 +893,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_stream(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "trace":
+            return _cmd_trace_convert(args)
         return _cmd_experiments(args.scale, args.ids, args.output)
     except ReproError as exc:
         # Deliberate library failures (bad ranges, unknown names) exit

@@ -28,6 +28,10 @@ class TraceError(ReproError):
     """A training trace is missing data required by an analysis."""
 
 
+class StorageError(ReproError):
+    """A binary storage artefact is malformed, truncated, or mis-typed."""
+
+
 class SelectionError(ReproError):
     """Representative-iteration selection failed (e.g. empty trace)."""
 

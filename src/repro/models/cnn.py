@@ -67,6 +67,14 @@ class CnnModel(SequentialModel):
             "cnn", [*convs, classifier], SoftmaxCrossEntropyLayer("ce", classes)
         )
         self.image_size = image_size
+        self.classes = classes
+
+    def plan_fingerprint(self) -> dict:
+        return {
+            "family": "cnn",
+            "image_size": self.image_size,
+            "classes": self.classes,
+        }
 
     def input_steps(self, inputs: IterationInputs) -> int:
         # Images are rescaled to a fixed size: the iteration's sequence

@@ -59,6 +59,18 @@ class ConvS2SModel(SequentialModel):
         )
         self.vocab = vocab
         self.hidden = hidden
+        # ``self.layers`` is the SequentialModel layer stack.
+        self.num_layers = layers
+        self.kernel_width = kernel_width
+
+    def plan_fingerprint(self) -> dict:
+        return {
+            "family": "convs2s",
+            "vocab": self.vocab,
+            "hidden": self.hidden,
+            "layers": self.num_layers,
+            "kernel_width": self.kernel_width,
+        }
 
 
 def build_convs2s(

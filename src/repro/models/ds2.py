@@ -71,6 +71,16 @@ class Ds2Model(SequentialModel):
         self.alphabet = alphabet
         self.hidden = hidden
         self.freq_bins = freq_bins
+        self.gru_layers = gru_layers
+
+    def plan_fingerprint(self) -> dict:
+        return {
+            "family": "ds2",
+            "alphabet": self.alphabet,
+            "hidden": self.hidden,
+            "freq_bins": self.freq_bins,
+            "gru_layers": self.gru_layers,
+        }
 
 
 def build_ds2(

@@ -77,6 +77,15 @@ class GnmtModel(Model):
         self.classifier = DenseLayer("classifier", hidden, vocab)
         self.loss = SoftmaxCrossEntropyLayer("softmax_ce", vocab)
 
+    def plan_fingerprint(self) -> dict:
+        return {
+            "family": "gnmt",
+            "vocab": self.vocab,
+            "hidden": self.hidden,
+            "encoder_layers": len(self.encoder),
+            "decoder_layers": len(self.decoder),
+        }
+
     def target_steps(self, inputs: IterationInputs) -> int:
         if inputs.tgt_len is not None:
             return inputs.tgt_len

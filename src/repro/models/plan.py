@@ -32,16 +32,46 @@ unique shape instead of re-lowering it.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import hashlib
+import json
+import os
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
+from pathlib import Path
 from threading import Lock
+from typing import Any
 
 import numpy as np
 
 from repro.hw.timing import WorkBatch
 from repro.models.schedule import KernelSchedule
+from repro.util.filelock import file_lock
+from repro.util.npt import ColumnStore, write_columns
 
-__all__ = ["SchedulePlan", "compile_plan", "PlanCache", "PLAN_CACHE"]
+__all__ = [
+    "SchedulePlan",
+    "compile_plan",
+    "PlanCache",
+    "PlanStore",
+    "PLAN_CACHE",
+    "PLAN_SCHEMA",
+]
+
+PLAN_SCHEMA = "repro.schedule-plan.v1"
+
+#: WorkBatch columns in serialisation order.
+_WORK_COLUMNS = (
+    "flops",
+    "work_items",
+    "issue_efficiency",
+    "workgroup_size",
+    "read_bytes",
+    "write_bytes",
+    "l1_reuse_fraction",
+    "l1_working_set",
+    "l2_reuse_fraction",
+    "l2_working_set",
+)
 
 
 @dataclass(frozen=True, eq=False)
@@ -160,6 +190,114 @@ def compile_plan(schedule: KernelSchedule) -> SchedulePlan:
     )
 
 
+def _plan_columns(
+    plan: SchedulePlan,
+) -> tuple[dict[str, Any], list[tuple[str, np.ndarray]]]:
+    """The (meta, columns) serialisation of one plan."""
+    meta = {"groups": list(plan.groups), "names": list(plan.names)}
+    columns: list[tuple[str, np.ndarray]] = [
+        (name, getattr(plan.work, name)) for name in _WORK_COLUMNS
+    ]
+    columns.append(("counts", plan.counts))
+    columns.append(("group_id", plan.group_id))
+    columns.append(("name_id", plan.name_id))
+    columns.append(
+        (
+            "gemm_shapes",
+            np.asarray(plan.gemm_shapes, dtype=np.int64).reshape(
+                len(plan.gemm_shapes), 3
+            ),
+        )
+    )
+    return meta, columns
+
+
+def _plan_from_store(store: ColumnStore) -> SchedulePlan:
+    """Rebuild a plan over a container's zero-copy column views.
+
+    WorkBatch columns come back as contiguous read-only views into the
+    mapping; the timing engine only reads them, so mmap-backed plans
+    time bit-identically to freshly compiled ones.
+    """
+    return SchedulePlan(
+        work=WorkBatch(**{name: store.column(name) for name in _WORK_COLUMNS}),
+        counts=store.column("counts"),
+        group_id=store.column("group_id"),
+        name_id=store.column("name_id"),
+        groups=tuple(store.meta["groups"]),
+        names=tuple(store.meta["names"]),
+        gemm_shapes=tuple(
+            tuple(row) for row in store.column("gemm_shapes").tolist()
+        ),
+    )
+
+
+class PlanStore:
+    """Content-addressed on-disk store of compiled plans.
+
+    Keys are stable hashes of structural plan fingerprints (model
+    hyperparameters + pass kind + shape + hardware config — see
+    :meth:`~repro.models.spec.Model.plan_fingerprint`), so *any*
+    process on the machine that needs the same lowering finds the
+    artefact instead of recompiling.  Writes follow the trace cache's
+    protocol: a per-key advisory file lock for the duration of a miss
+    plus atomic temp-file + rename publication, so racing spawn workers
+    lower each unique plan exactly once machine-wide.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(fingerprint: Mapping[str, Any]) -> str:
+        """Stable content hash of a plan fingerprint mapping."""
+        canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npt"
+
+    def get_or_compute(
+        self,
+        fingerprint: Mapping[str, Any],
+        build: Callable[[], SchedulePlan],
+    ) -> SchedulePlan:
+        """The stored plan for ``fingerprint``, building it on a miss.
+
+        The whole miss runs under the per-key file lock, so concurrent
+        processes racing on one fingerprint produce exactly one
+        lowering — the loser blocks, then loads the winner's artefact.
+        """
+        key = self.key_for(fingerprint)
+        path = self._path(key)
+        with file_lock(self.directory, key):
+            if path.exists():
+                with self._lock:
+                    self.hits += 1
+                return _plan_from_store(ColumnStore(path))
+            plan = build()
+            meta, columns = _plan_columns(plan)
+            staging = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            write_columns(staging, PLAN_SCHEMA, meta, columns)
+            os.replace(staging, path)
+            with self._lock:
+                self.misses += 1
+            return plan
+
+    def stats(self) -> dict[str, int]:
+        entries = 0
+        if self.directory.is_dir():
+            entries = sum(1 for _ in self.directory.glob("*.npt"))
+        with self._lock:
+            return {"entries": entries, "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return f"PlanStore({str(self.directory)!r})"
+
+
 class PlanCache:
     """Process-wide store of compiled plans, with hit/miss counters.
 
@@ -167,6 +305,11 @@ class PlanCache:
     one key observes the *same* plan object (identity matters — the
     device's batch-measurement memo keys on it).  Compiles are pure and
     GIL-bound, so holding the lock costs no parallelism.
+
+    A :class:`PlanStore` may be attached, in which case memory misses
+    whose caller supplies a structural fingerprint fall through to the
+    on-disk tier before compiling — that is what lets a pool of spawn
+    workers share lowerings machine-wide.
     """
 
     def __init__(self) -> None:
@@ -174,18 +317,44 @@ class PlanCache:
         self._lock = Lock()
         self._hits = 0
         self._misses = 0
+        self._store: PlanStore | None = None
+
+    def attach_store(self, store: PlanStore | None) -> PlanStore | None:
+        """Attach (or detach with ``None``) the on-disk tier.
+
+        Returns the previously attached store so callers scoping a
+        store to one operation can restore the prior state in a
+        ``finally`` block.
+        """
+        with self._lock:
+            previous = self._store
+            self._store = store
+            return previous
 
     def get_or_compile(
-        self, key: tuple, build: Callable[[], SchedulePlan]
+        self,
+        key: tuple,
+        build: Callable[[], SchedulePlan],
+        fingerprint: Mapping[str, Any] | None = None,
     ) -> SchedulePlan:
-        """The plan under ``key``, compiling (and storing) it on a miss."""
+        """The plan under ``key``, compiling (and storing) it on a miss.
+
+        When a store is attached and ``fingerprint`` is not ``None``,
+        the miss path delegates to the store, which loads a previously
+        persisted lowering or compiles-and-publishes exactly once
+        across processes.
+        """
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._hits += 1
                 return plan
             self._misses += 1
-            plan = build()
+            store = self._store
+            if store is not None and fingerprint is not None:
+                plan = store.get_or_compute(fingerprint, build)
+            else:
+                plan = build()
             self._plans[key] = plan
             return plan
 

@@ -118,5 +118,20 @@ class Model(ABC):
             self._plan_token,
         )
 
+    def plan_fingerprint(self) -> dict | None:
+        """Structural identity for the cross-process plan store.
+
+        Unlike :meth:`plan_key` (which may lean on a per-process token),
+        a fingerprint must be stable across processes and machines: a
+        JSON-serialisable mapping capturing *every* hyperparameter that
+        lowering depends on, discriminated by model family.  Two models
+        with equal fingerprints must lower identically for every
+        ``(inputs, config)`` pair.  The default ``None`` opts the model
+        out of the on-disk store (plans still cache per-process) —
+        safer than a guessed subset of hyperparameters, which would
+        silently serve one model's plans to another.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

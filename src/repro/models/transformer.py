@@ -38,6 +38,18 @@ class TransformerModel(SequentialModel):
         )
         self.vocab = vocab
         self.hidden = hidden
+        # ``self.layers`` is the SequentialModel layer stack.
+        self.num_layers = layers
+        self.heads = heads
+
+    def plan_fingerprint(self) -> dict:
+        return {
+            "family": "transformer",
+            "vocab": self.vocab,
+            "hidden": self.hidden,
+            "layers": self.num_layers,
+            "heads": self.heads,
+        }
 
 
 def build_transformer(

@@ -7,6 +7,11 @@ lock, compact enough to serialize into every ``/stats`` response.  The
 :class:`MetricsRegistry` keys one histogram per endpoint *template*
 (``POST /jobs``, ``GET /jobs/<id>``, ...), so path parameters do not
 explode the cardinality.
+
+:func:`storage_snapshot` formats the storage tier for ``/stats``:
+per-format (json/binary) on-disk trace-cache entry counts, cold-load
+latency counters, and — when the daemon runs with a plan store — the
+store's entry/hit/miss counters.
 """
 
 from __future__ import annotations
@@ -15,7 +20,31 @@ import threading
 from bisect import bisect_left
 from typing import Any
 
-__all__ = ["LatencyHistogram", "MetricsRegistry", "percentile"]
+__all__ = ["LatencyHistogram", "MetricsRegistry", "percentile", "storage_snapshot"]
+
+
+def storage_snapshot(cache: Any, plan_store: Any = None) -> dict[str, Any]:
+    """The ``/stats`` storage section for a trace cache + plan store.
+
+    Cold-load counters come from
+    :meth:`~repro.api.cache.TraceCache.storage_stats`; per-format
+    totals are reported as count / mean / max milliseconds.
+    """
+    stats = cache.storage_stats()
+    cold_loads = {}
+    for fmt, entry in sorted(stats["cold_loads"].items()):
+        count = int(entry["count"])
+        cold_loads[fmt] = {
+            "count": count,
+            "mean_ms": 1e3 * entry["seconds"] / count if count else 0.0,
+            "max_ms": 1e3 * entry["max_s"],
+        }
+    return {
+        "directory": stats["directory"],
+        "disk_entries": stats["disk_entries"],
+        "cold_loads": cold_loads,
+        "plan_store": None if plan_store is None else plan_store.stats(),
+    }
 
 #: Bucket upper bounds in seconds: 1e-4 .. ~134s, doubling.
 _BUCKET_BOUNDS = tuple(1e-4 * 2**i for i in range(21))

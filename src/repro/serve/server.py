@@ -44,7 +44,8 @@ from typing import Any
 from repro import __version__
 from repro.api.cache import TraceCache
 from repro.api.engine import AnalysisEngine
-from repro.serve.metrics import MetricsRegistry
+from repro.models.plan import PLAN_CACHE, PlanStore
+from repro.serve.metrics import MetricsRegistry, storage_snapshot
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     NotFoundError,
@@ -75,15 +76,28 @@ class ServeApp:
         sweep_workers: int | None = None,
         queue_depth: int | None = None,
         max_sessions: int | None = None,
+        plan_store_dir: str | None = None,
     ):
         self.engine = engine if engine is not None else AnalysisEngine()
         self.queue = JobQueue(max_depth=queue_depth)
+        # The in-process engine and the sweep worker processes share
+        # one plan store, so lowerings persist for the daemon's life
+        # and across every pool it spawns.
+        self.plan_store = (
+            None if plan_store_dir is None else PlanStore(plan_store_dir)
+        )
+        self._previous_plan_store = (
+            PLAN_CACHE.attach_store(self.plan_store)
+            if self.plan_store is not None
+            else None
+        )
         self.workers = WorkerPool(
             self.queue,
             self.engine,
             workers=workers,
             sweep_mode=sweep_mode,
             sweep_workers=sweep_workers,
+            plan_store_dir=plan_store_dir,
         )
         self.sessions = SessionManager(self.engine, max_sessions=max_sessions)
         self.metrics = MetricsRegistry()
@@ -94,6 +108,10 @@ class ServeApp:
 
     def close(self) -> None:
         self.workers.shutdown()
+        if self.plan_store is not None:
+            # Detach from the process-global cache so a closed app (a
+            # test, a --check run) stops influencing later lowerings.
+            PLAN_CACHE.attach_store(self._previous_plan_store)
 
     # -- routing -------------------------------------------------------
 
@@ -219,6 +237,7 @@ class ServeApp:
             "queue": self.queue.snapshot(),
             "sessions": self.sessions.snapshot(),
             "latency": self.metrics.snapshot(),
+            "storage": storage_snapshot(cache, self.plan_store),
         }
 
 

@@ -60,6 +60,7 @@ class WorkerPool:
         workers: int = 2,
         sweep_mode: str = "process",
         sweep_workers: int | None = None,
+        plan_store_dir: str | Path | None = None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be positive, got {workers}")
@@ -71,6 +72,9 @@ class WorkerPool:
         self.engine = engine
         self.sweep_mode = sweep_mode
         self.sweep_workers = sweep_workers
+        #: Shared with sweep worker processes so lowerings persist
+        #: across pool lifetimes (one per machine, not one per spawn).
+        self.plan_store_dir = None if plan_store_dir is None else Path(plan_store_dir)
         self._threads = [
             threading.Thread(
                 target=self._loop, name=f"serve-worker-{index}", daemon=True
@@ -197,7 +201,13 @@ class WorkerPool:
                 max_workers=workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(str(directory), self.engine.noise_sigma),
+                initargs=(
+                    str(directory),
+                    self.engine.noise_sigma,
+                    None
+                    if self.plan_store_dir is None
+                    else str(self.plan_store_dir),
+                ),
             ) as pool:
                 job.check_cancelled()
                 # Phase 1: each unique epoch exactly once into the

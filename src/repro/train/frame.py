@@ -19,9 +19,13 @@ iterations are bit-identical before measurement noise.  A
 :class:`~repro.train.trace.IterationRecord` remain as thin row-oriented
 views for API compatibility; they materialise from a frame on demand.
 
-Frames serialise to the compact columnar ``repro.training-trace.v2``
-schema; v1 row-oriented files load transparently.  Both round-trip
-bit-exactly (JSON uses shortest-round-trip float repr).
+Frames serialise to the binary columnar ``repro.training-trace.v3``
+container by default — an mmap-able ``.npt`` file whose cold load is a
+handful of zero-copy dtype views plus an O(unique shapes) profile-pool
+rebuild, no per-row parsing — with the compact columnar v2 JSON
+(``save(version=2)``, diffable) and legacy v1 row JSON still loading
+transparently.  All three round-trip bit-exactly: v3 stores the raw
+float64 column bytes, and JSON uses shortest-round-trip float repr.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.hw.counters import CounterSet
+from repro.util.npt import ColumnStore, is_npt, write_columns
 from repro.util.serialize import dump_json, read_json
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -46,10 +51,12 @@ __all__ = [
     "dedupe_shapes",
     "SCHEMA_V1",
     "SCHEMA_V2",
+    "SCHEMA_V3",
 ]
 
 SCHEMA_V1 = "repro.training-trace.v1"
 SCHEMA_V2 = "repro.training-trace.v2"
+SCHEMA_V3 = "repro.training-trace.v3"
 
 #: Sentinel in the ``tgt_len`` column for "no target side" (single-ended
 #: networks such as DS2).
@@ -108,7 +115,8 @@ class TraceFrame:
         "tgt_len",
         "time_s",
         "profile_id",
-        "profiles",
+        "_profiles",
+        "storage",
         "_source_records",
         "_memo",
     )
@@ -125,10 +133,11 @@ class TraceFrame:
         tgt_len: np.ndarray,
         time_s: np.ndarray,
         profile_id: np.ndarray,
-        profiles: tuple[IterationProfile, ...],
+        profiles: "tuple[IterationProfile, ...] | Callable[[], list[IterationProfile]]",
         autotune_s: float = 0.0,
         eval_s: float = 0.0,
         source_records: tuple | None = None,
+        storage: ColumnStore | None = None,
     ):
         if batch_size <= 0:
             raise TraceError("batch_size must be positive")
@@ -144,7 +153,14 @@ class TraceFrame:
         self.tgt_len = np.asarray(tgt_len, dtype=np.int64)
         self.time_s = np.asarray(time_s, dtype=np.float64)
         self.profile_id = np.asarray(profile_id, dtype=np.int64)
-        self.profiles = tuple(profiles)
+        # A zero-arg callable defers the pool (v3 binary loads pass a
+        # thunk over the container's CSR columns); it materialises on
+        # first touch via the ``profiles`` property.
+        self._profiles = profiles if callable(profiles) else tuple(profiles)
+        #: The mmap-backed column container this frame views (v3 loads
+        #: only); pins the mapping for the frame's lifetime and reports
+        #: the real on-disk footprint to the cache's byte accounting.
+        self.storage = storage
         self._source_records = source_records
         self._memo: dict[str, Any] = {}
         n = self.index.size
@@ -159,10 +175,11 @@ class TraceFrame:
                 bad = int(self.index[int(np.argmin(self.time_s))])
                 raise TraceError(f"iteration {bad}: non-positive time")
             lo, hi = int(self.profile_id.min()), int(self.profile_id.max())
-            if lo < 0 or hi >= len(self.profiles):
+            pool = None if callable(self._profiles) else len(self._profiles)
+            if lo < 0 or (pool is not None and hi >= pool):
                 raise TraceError(
                     f"profile_id range [{lo}, {hi}] outside the "
-                    f"{len(self.profiles)}-entry profile pool"
+                    f"{pool}-entry profile pool"
                 )
 
     # -- construction -------------------------------------------------
@@ -233,13 +250,22 @@ class TraceFrame:
             tgt_len=self.tgt_len,
             time_s=self.time_s,
             profile_id=self.profile_id,
-            profiles=self.profiles,
+            profiles=self._profiles,
             autotune_s=autotune_s,
             eval_s=eval_s,
             source_records=self._source_records,
+            storage=self.storage,
         )
 
     # -- basic shape --------------------------------------------------
+
+    @property
+    def profiles(self) -> tuple[IterationProfile, ...]:
+        """The interned profile pool, materialising a deferred one."""
+        pool = self._profiles
+        if callable(pool):
+            pool = self._profiles = tuple(pool())
+        return pool
 
     def __len__(self) -> int:
         return int(self.index.size)
@@ -439,9 +465,161 @@ class TraceFrame:
             ],
         }
 
-    def save(self, path: str | Path) -> None:
-        """Persist as a ``repro.training-trace.v2`` JSON artefact."""
-        dump_json(self.to_payload(), path, SCHEMA_V2)
+    def save(self, path: str | Path, *, version: int = 3) -> None:
+        """Persist this frame as a trace artefact.
+
+        Version 3 (the default) writes the binary columnar ``.npt``
+        container; version 2 writes the diffable columnar JSON.  Both
+        load back bit-identically via :meth:`load`.
+        """
+        if version == 3:
+            self._save_npt(path)
+        elif version == 2:
+            dump_json(self.to_payload(), path, SCHEMA_V2)
+        else:
+            raise TraceError(f"unknown trace format version {version!r}")
+
+    def _save_npt(self, path: str | Path) -> None:
+        """Write the v3 binary container (columns + CSR profile pool).
+
+        The profile pool is interned: group and kernel names live once
+        in string tables in the header, and each profile's entries are
+        integer ids in ragged CSR arrays.  Entries are stored sorted by
+        name so a rebuilt pool iterates in the same order as a v2 JSON
+        load (whose dicts come back in sorted-key order).
+        """
+        group_names = sorted({g for p in self.profiles for g in p.group_times})
+        kernel_names = sorted({k for p in self.profiles for k in p.kernel_names})
+        group_index = {name: i for i, name in enumerate(group_names)}
+        kernel_index = {name: i for i, name in enumerate(kernel_names)}
+
+        pool = len(self.profiles)
+        launches = np.fromiter((p.launches for p in self.profiles), np.int64, pool)
+        counters = np.array(
+            [
+                [getattr(p.counters, field) for field in _COUNTER_FIELDS]
+                for p in self.profiles
+            ],
+            dtype=np.float64,
+        ).reshape(pool, len(_COUNTER_FIELDS))
+
+        group_offsets = np.zeros(pool + 1, dtype=np.int64)
+        group_ids: list[int] = []
+        group_values: list[float] = []
+        kernel_offsets = np.zeros(pool + 1, dtype=np.int64)
+        kernel_ids: list[int] = []
+        for i, profile in enumerate(self.profiles):
+            for name in sorted(profile.group_times):
+                group_ids.append(group_index[name])
+                group_values.append(profile.group_times[name])
+            group_offsets[i + 1] = len(group_ids)
+            for name in sorted(profile.kernel_names):
+                kernel_ids.append(kernel_index[name])
+            kernel_offsets[i + 1] = len(kernel_ids)
+
+        meta = {
+            "model_name": self.model_name,
+            "dataset_name": self.dataset_name,
+            "config_name": self.config_name,
+            "batch_size": self.batch_size,
+            "autotune_s": self.autotune_s,
+            "eval_s": self.eval_s,
+            "counter_fields": list(_COUNTER_FIELDS),
+            "group_names": group_names,
+            "kernel_names": kernel_names,
+        }
+        write_columns(
+            path,
+            SCHEMA_V3,
+            meta,
+            [
+                ("index", self.index),
+                ("epoch", self.epoch),
+                ("seq_len", self.seq_len),
+                ("tgt_len", self.tgt_len),
+                ("time_s", self.time_s),
+                ("profile_id", self.profile_id),
+                ("profile_launches", launches),
+                ("profile_counters", counters),
+                ("profile_group_offsets", group_offsets),
+                ("profile_group_ids", np.asarray(group_ids, dtype=np.int64)),
+                ("profile_group_values", np.asarray(group_values, dtype=np.float64)),
+                ("profile_kernel_offsets", kernel_offsets),
+                ("profile_kernel_ids", np.asarray(kernel_ids, dtype=np.int64)),
+            ],
+        )
+
+    @classmethod
+    def _from_npt(cls, store: ColumnStore) -> "TraceFrame":
+        """Rebuild a frame over a v3 container's zero-copy views.
+
+        The six iteration columns are dtype views straight into the
+        mmap, and the profile pool is *deferred*: a cold load touches
+        no per-row or per-profile Python objects at all.  The pool
+        (O(unique shapes), not O(rows)) materialises from the CSR
+        columns on first access.
+        """
+        meta = store.meta
+        counter_fields = meta["counter_fields"]
+        group_names = meta["group_names"]
+        kernel_names = meta["kernel_names"]
+        launches = store.column("profile_launches")
+        profile_id = store.column("profile_id")
+        if profile_id.size and int(profile_id.max()) >= launches.size:
+            raise TraceError(
+                f"profile_id range outside the {launches.size}-entry "
+                "profile pool"
+            )
+
+        def materialise() -> "list[IterationProfile]":
+            counters = store.column("profile_counters")
+            group_offsets = store.column("profile_group_offsets")
+            group_ids = store.column("profile_group_ids")
+            group_values = store.column("profile_group_values")
+            kernel_offsets = store.column("profile_kernel_offsets")
+            kernel_ids = store.column("profile_kernel_ids")
+            profiles = []
+            for i in range(launches.size):
+                counter_set = CounterSet(
+                    **dict(zip(counter_fields, counters[i].tolist()))
+                )
+                lo, hi = int(group_offsets[i]), int(group_offsets[i + 1])
+                group_times = {
+                    group_names[gid]: value
+                    for gid, value in zip(
+                        group_ids[lo:hi].tolist(), group_values[lo:hi].tolist()
+                    )
+                }
+                lo, hi = int(kernel_offsets[i]), int(kernel_offsets[i + 1])
+                profiles.append(
+                    IterationProfile(
+                        launches=int(launches[i]),
+                        counters=counter_set,
+                        group_times=group_times,
+                        kernel_names=frozenset(
+                            kernel_names[kid]
+                            for kid in kernel_ids[lo:hi].tolist()
+                        ),
+                    )
+                )
+            return profiles
+
+        return cls(
+            model_name=meta["model_name"],
+            dataset_name=meta["dataset_name"],
+            config_name=meta["config_name"],
+            batch_size=meta["batch_size"],
+            index=store.column("index"),
+            epoch=store.column("epoch"),
+            seq_len=store.column("seq_len"),
+            tgt_len=store.column("tgt_len"),
+            time_s=store.column("time_s"),
+            profile_id=profile_id,
+            profiles=materialise,
+            autotune_s=meta["autotune_s"],
+            eval_s=meta["eval_s"],
+            storage=store,
+        )
 
     @classmethod
     def from_payload(cls, document: dict[str, Any]) -> "TraceFrame":
@@ -510,7 +688,19 @@ class TraceFrame:
 
     @classmethod
     def load(cls, path: str | Path) -> "TraceFrame":
-        """Load a trace artefact of any supported schema version."""
+        """Load a trace artefact of any supported schema version.
+
+        Binary v3 containers mmap and view (no row parsing); v2/v1
+        JSON parse as before.  All versions produce equal frames.
+        """
+        if is_npt(path):
+            store = ColumnStore(path)
+            if store.schema != SCHEMA_V3:
+                raise TraceError(
+                    f"{Path(path)}: unknown binary trace schema "
+                    f"{store.schema!r}; expected {SCHEMA_V3!r}"
+                )
+            return cls._from_npt(store)
         document = read_json(path)
         schema = document.get("schema")
         if schema == SCHEMA_V2:

@@ -25,6 +25,7 @@ configurations, and noise seeds.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.hw.counters import CounterSet
@@ -129,7 +130,14 @@ class IterationExecutor:
         )
 
     def _plan_for(self, inputs: IterationInputs, kind: str) -> SchedulePlan:
-        """This shape's compiled plan, through the process-wide cache."""
+        """This shape's compiled plan, through the process-wide cache.
+
+        Models exposing a structural :meth:`plan_fingerprint` also
+        qualify for the cross-process plan store (when one is attached
+        to the cache): the fingerprint extends the model identity with
+        everything else lowering depends on — pass kind, padded shape,
+        and the hardware configuration.
+        """
         config = self.device.config
         key = (
             self.model.plan_key(),
@@ -139,13 +147,26 @@ class IterationExecutor:
             inputs.tgt_len,
             config,
         )
+        model_fingerprint = self.model.plan_fingerprint()
+        fingerprint = None
+        if model_fingerprint is not None:
+            fingerprint = {
+                "model": model_fingerprint,
+                "kind": kind,
+                "batch": inputs.batch,
+                "seq_len": inputs.seq_len,
+                "tgt_len": inputs.tgt_len,
+                "config": dataclasses.asdict(config),
+            }
         lower = (
             self.model.lower_iteration
             if kind == "train"
             else self.model.lower_forward
         )
         return PLAN_CACHE.get_or_compile(
-            key, lambda: compile_plan(lower(inputs, config))
+            key,
+            lambda: compile_plan(lower(inputs, config)),
+            fingerprint=fingerprint,
         )
 
     def run(self, inputs: IterationInputs) -> IterationResult:

@@ -241,14 +241,15 @@ class TrainingTrace:
 
     # -- persistence -------------------------------------------------
 
-    def save(self, path: str | Path, *, version: int = 2) -> None:
-        """Persist the trace; ``version=2`` (columnar) is the default.
+    def save(self, path: str | Path, *, version: int = 3) -> None:
+        """Persist the trace; ``version=3`` (binary columnar) is default.
 
+        ``version=2`` writes the columnar JSON schema (diffable);
         ``version=1`` writes the legacy row-oriented schema for
         interoperability with pre-columnar consumers.
         """
-        if version == 2:
-            self.frame().save(path)
+        if version in (2, 3):
+            self.frame().save(path, version=version)
         elif version == 1:
             payload = {
                 "model_name": self.model_name,
@@ -278,5 +279,5 @@ class TrainingTrace:
 
     @classmethod
     def load(cls, path: str | Path) -> "TrainingTrace":
-        """Load a v2 (columnar) or v1 (row-oriented) trace artefact."""
+        """Load a v3 (binary), v2 (columnar), or v1 (row) artefact."""
         return cls.from_frame(TraceFrame.load(path))

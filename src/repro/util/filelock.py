@@ -1,0 +1,49 @@
+"""Advisory inter-process file locks for the on-disk stores.
+
+The trace cache (:mod:`repro.api.cache`) and the plan store
+(:mod:`repro.models.plan`) coordinate concurrent worker processes the
+same way: an exclusive ``fcntl`` lock on a per-key ``*.lock`` file held
+for the duration of a miss, so racing processes produce exactly one
+expensive computation and every loser observes the winner's artefact.
+This module is that shared protocol.
+
+On platforms without ``fcntl`` (or when no directory is configured) the
+lock degrades to a no-op: in-process callers still serialise on their
+own thread locks, only cross-process exclusion is lost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["file_lock"]
+
+
+@contextmanager
+def file_lock(directory: str | Path | None, name: str) -> Iterator[None]:
+    """Hold an exclusive advisory lock ``{name}.lock`` under ``directory``.
+
+    A no-op when ``directory`` is ``None`` or the platform lacks
+    ``fcntl``; otherwise the directory is created on demand and the
+    lock file persists (lock files are cheap and reusable — deleting
+    them would race other lockers).
+    """
+    if directory is None or fcntl is None:
+        yield
+        return
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    lock_path = directory / f"{name}.lock"
+    with lock_path.open("a") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)

@@ -80,7 +80,7 @@ class TestDisk:
         writer = TraceCache(tmp_path)
         trace = small_trace(0.5)
         writer.put("deadbeef", trace)
-        assert (tmp_path / "deadbeef.json").exists()
+        assert (tmp_path / "deadbeef.npt").exists()
 
         reader = TraceCache(tmp_path)
         restored = reader.get("deadbeef")
@@ -163,6 +163,78 @@ class TestEviction:
         assert cache.get("a") is not None  # disk hit re-admits
         assert cache.stats()["hits"] == 1
         assert cache.stats()["misses"] == 0
+
+
+class TestBinaryStorage:
+    """Disk tier observability and the mmap-backed artefact lifecycle."""
+
+    def test_storage_stats_memory_only(self):
+        cache = TraceCache()
+        assert cache.storage_stats() == {
+            "directory": None,
+            "disk_entries": {"json": 0, "binary": 0},
+            "cold_loads": {},
+        }
+
+    def test_cold_loads_counted_per_format(self, tmp_path):
+        TraceCache(tmp_path).put("aa", small_trace())
+        small_trace().save(tmp_path / "bb.json", version=2)  # legacy artefact
+        cache = TraceCache(tmp_path)
+        assert cache.get("aa") is not None
+        assert cache.get("bb") is not None
+        stats = cache.storage_stats()
+        assert stats["directory"] == str(tmp_path)
+        assert stats["disk_entries"] == {"json": 1, "binary": 1}
+        for fmt in ("binary", "json"):
+            entry = stats["cold_loads"][fmt]
+            assert entry["count"] == 1
+            assert entry["seconds"] >= 0.0
+            assert entry["max_s"] >= entry["seconds"] / entry["count"]
+        # Memory hits are not cold loads.
+        cache.get("aa")
+        assert cache.storage_stats()["cold_loads"]["binary"]["count"] == 1
+
+    def test_disk_entry_reports_real_file_size(self, tmp_path):
+        writer = TraceCache(tmp_path)
+        writer.put("k", small_trace())
+        reader = TraceCache(tmp_path)
+        loaded = reader.get("k")
+        assert trace_nbytes(loaded) == (tmp_path / "k.npt").stat().st_size
+        assert reader.stats()["bytes"] == (tmp_path / "k.npt").stat().st_size
+
+    def test_loaded_trace_outlives_eviction_and_unlink(self, tmp_path):
+        TraceCache(tmp_path).put("a", small_trace())
+        cache = TraceCache(tmp_path, max_entries=1)
+        trace = cache.get("a")  # mmap-backed cold load
+        assert trace.frame().storage is not None
+        cache.put("b", small_trace())  # evicts a from memory
+        assert cache.stats()["evictions"] == 1
+        (tmp_path / "a.npt").unlink()  # POSIX: the mapping pins the pages
+        assert [r.seq_len for r in trace.records] == [10, 20]
+        assert trace.frame().time_s.sum() == 3.0
+
+    def test_clear_resets_cold_load_counters(self, tmp_path):
+        TraceCache(tmp_path).put("k", small_trace())
+        cache = TraceCache(tmp_path)
+        cache.get("k")
+        assert cache.storage_stats()["cold_loads"]
+        cache.clear()
+        assert cache.storage_stats()["cold_loads"] == {}
+
+    def test_fcntl_free_hosts_still_coordinate(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.util.filelock.fcntl", None)
+        cache = TraceCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return small_trace()
+
+        first = cache.get_or_compute("k", compute)
+        assert (tmp_path / "k.npt").exists()
+        second = TraceCache(tmp_path).get_or_compute("k", compute)
+        assert len(calls) == 1  # second instance hit the artefact
+        assert first.total_time_s == second.total_time_s
 
 
 class TestCounterThreadSafety:

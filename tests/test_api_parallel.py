@@ -197,4 +197,4 @@ class TestProcessPool:
         assert [r.to_dict() for r in run.results] == serial_reference(sweep)
         assert run.mode == "process"
         # Workers left one artefact per unique trace in the shared cache.
-        assert len(list(tmp_path.glob("*.json"))) == run.unique_traces == 4
+        assert len(list(tmp_path.glob("*.npt"))) == run.unique_traces == 4

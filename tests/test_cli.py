@@ -153,7 +153,7 @@ class TestAnalyze:
                 "--cache-dir", str(tmp_path), "--format", "json"]
         assert main(args) == 0
         first = json.loads(capsys.readouterr().out)
-        cached = list(tmp_path.glob("*.json"))
+        cached = list(tmp_path.glob("*.npt"))
         assert len(cached) == 1
         assert main(args) == 0  # second run reuses the on-disk trace
         assert json.loads(capsys.readouterr().out) == first
@@ -285,7 +285,7 @@ class TestStream:
                 "--cache-dir", str(tmp_path), "--format", "json"]
         assert main(args) == 0
         first = json.loads(capsys.readouterr().out)
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.glob("*.npt"))
         assert main(args) == 0
         assert json.loads(capsys.readouterr().out) == first
 
@@ -377,6 +377,80 @@ class TestCleanErrors:
             assert "no default dataset" in err
         finally:
             MODELS._entries.pop("_cli_orphan")
+
+
+class TestTraceConvert:
+    """`repro trace convert` migrates artefacts between formats."""
+
+    @staticmethod
+    def seed_trace():
+        from tests.conftest import make_trace
+
+        return make_trace([(10, 1.0), (20, 2.0), (10, 1.0)])
+
+    @staticmethod
+    def payload(path):
+        from repro.train.trace import TrainingTrace
+
+        return json.dumps(
+            TrainingTrace.load(path).frame().to_payload(), sort_keys=True
+        )
+
+    def test_v2_json_to_v3_binary(self, tmp_path, capsys):
+        from repro.util.npt import is_npt
+
+        src, dst = tmp_path / "t.json", tmp_path / "t.npt"
+        self.seed_trace().save(src, version=2)
+        assert main(["trace", "convert", str(src), str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "round trip verified" in out
+        assert "3 iterations" in out
+        assert is_npt(dst)
+        assert self.payload(dst) == self.payload(src)
+
+    def test_v3_binary_back_to_v2_json(self, tmp_path, capsys):
+        trace = self.seed_trace()
+        v2, v3, back = tmp_path / "a.json", tmp_path / "t.npt", tmp_path / "b.json"
+        trace.save(v2, version=2)
+        trace.save(v3)
+        assert main(["trace", "convert", str(v3), str(back), "--to", "2"]) == 0
+        # Byte-identical to a direct v2 dump: nothing lost in the binary hop.
+        assert back.read_bytes() == v2.read_bytes()
+
+    def test_unknown_target_version_clean_error(self, tmp_path, capsys):
+        src = tmp_path / "t.json"
+        self.seed_trace().save(src, version=2)
+        assert main(
+            ["trace", "convert", str(src), str(tmp_path / "o"), "--to", "99"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown trace format version 99" in err
+        assert "Traceback" not in err
+
+    def test_missing_source_clean_error(self, tmp_path, capsys):
+        assert main(
+            ["trace", "convert", str(tmp_path / "absent.json"),
+             str(tmp_path / "o.npt")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("trace:")
+
+
+class TestSweepPlanStore:
+    def test_plan_store_dir_flag_populates_store(self, tmp_path, capsys):
+        from repro.models.plan import PLAN_CACHE
+
+        PLAN_CACHE.clear()  # force lowerings through the attached store
+        plans = tmp_path / "plans"
+        assert main(
+            ["sweep", "--networks", "gnmt", "--scales", "0.01",
+             "--mode", "serial", "--format", "json",
+             "--plan-store-dir", str(plans)]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["mode"] == "serial"
+        assert list(plans.glob("*.npt"))
 
 
 class TestExperiments:

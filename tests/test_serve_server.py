@@ -347,6 +347,60 @@ class TestStatsAndEviction:
         assert envelope["sessions"]["open"] == 0
 
 
+class TestStorageStats:
+    """/stats storage section: per-format cold loads and the plan store."""
+
+    def test_one_cold_load_of_each_format(self, tmp_path):
+        from repro.models.plan import PLAN_CACHE
+
+        # Seed the shared cache directory with one artefact per format:
+        # a binary .npt written by a sibling engine, and spec_b's trace
+        # planted by hand as a legacy v2 JSON artefact under its key.
+        spec_a = AnalysisSpec(network="gnmt", scale=0.02, seed=0)
+        spec_b = AnalysisSpec(network="gnmt", scale=0.02, seed=1)
+        seeder = AnalysisEngine(cache=TraceCache(tmp_path))
+        seeder.trace_for(spec_a)  # writes {key_a}.npt
+        scratch = AnalysisEngine(cache=TraceCache())
+        scratch.trace_for(spec_b).save(
+            tmp_path / f"{scratch.trace_key(spec_b)}.json", version=2
+        )
+
+        PLAN_CACHE.clear()  # force lowerings through the attached store
+        app = ServeApp(
+            AnalysisEngine(cache=TraceCache(tmp_path)),
+            workers=1,
+            sweep_mode="serial",
+            plan_store_dir=str(tmp_path / "plans"),
+        )
+        app.start()
+        try:
+            for spec in (spec_a, spec_b):
+                _, envelope, _ = app.handle(
+                    "POST", "/jobs", {"kind": "analyze", "spec": spec.to_dict()}
+                )
+                assert wait_for(app, envelope["job"]["id"])["state"] == "done"
+            _, envelope, _ = app.handle("GET", "/stats")
+            storage = envelope["storage"]
+            assert storage["directory"] == str(tmp_path)
+            assert storage["disk_entries"] == {"json": 1, "binary": 1}
+            for fmt in ("binary", "json"):
+                entry = storage["cold_loads"][fmt]
+                assert entry["count"] == 1
+                assert entry["max_ms"] >= entry["mean_ms"] >= 0.0
+            plan_store = storage["plan_store"]
+            assert plan_store["entries"] > 0
+            assert plan_store["misses"] > 0
+        finally:
+            app.close()
+
+    def test_memory_only_storage_section(self, app):
+        _, envelope, _ = app.handle("GET", "/stats")
+        storage = envelope["storage"]
+        assert storage["directory"] is None
+        assert storage["cold_loads"] == {}
+        assert storage["plan_store"] is None
+
+
 class TestConcurrentSessions:
     def test_two_live_sessions_converge_independently(self, app):
         # Same scenario, different convergence knobs: the eager session

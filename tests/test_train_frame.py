@@ -222,7 +222,7 @@ class TestPersistence:
     def test_v2_round_trip_bit_equality(self, tmp_path):
         trace = self.make_seq2seq_trace()
         path = tmp_path / "trace.json"
-        trace.save(path)
+        trace.save(path, version=2)
         assert read_json(path)["schema"] == SCHEMA_V2
         loaded = TrainingTrace.load(path)
         assert_frames_equal(loaded.frame(), trace.frame())
@@ -233,7 +233,7 @@ class TestPersistence:
         v1 = tmp_path / "v1.json"
         v2 = tmp_path / "v2.json"
         trace.save(v1, version=1)
-        trace.save(v2)
+        trace.save(v2, version=2)
         assert read_json(v1)["schema"] == "repro.training-trace.v1"
         from_v1 = TrainingTrace.load(v1)
         from_v2 = TrainingTrace.load(v2)
@@ -256,12 +256,12 @@ class TestPersistence:
     def test_unknown_save_version_rejected(self, tmp_path):
         trace = make_trace([(10, 1.0)])
         with pytest.raises(TraceError, match="unknown trace format"):
-            trace.save(tmp_path / "t.json", version=3)
+            trace.save(tmp_path / "t.json", version=99)
 
     def test_profile_sharing_survives_round_trip(self, tmp_path):
         trace = self.make_seq2seq_trace()
         path = tmp_path / "trace.json"
-        trace.save(path)
+        trace.save(path, version=2)
         loaded = TrainingTrace.load(path)
         payload = read_json(path)
         assert len(payload["profiles"]) == 2
