@@ -55,6 +55,7 @@ from repro.api import (
     ProjectionSpec,
     StreamingAnalysisResult,
     TraceCache,
+    TrafficAnalysisResult,
     default_engine,
 )
 from repro.core import (
@@ -97,6 +98,7 @@ from repro.stream import (
     StreamingSlStatistics,
     TraceReplayFeed,
 )
+from repro.traffic import TrafficSimulator, TrafficSpec
 from repro.train import TrainingRunSimulator, TrainingTrace
 from repro.train.inference import InferenceRunSimulator
 
@@ -109,6 +111,9 @@ __all__ = [
     "ProjectionSpec",
     "StreamingAnalysisResult",
     "StreamSpec",
+    "TrafficAnalysisResult",
+    "TrafficSimulator",
+    "TrafficSpec",
     "StreamingIdentifier",
     "StreamingSlStatistics",
     "TraceReplayFeed",

@@ -35,12 +35,14 @@ from repro.api.engine import (
     ResolvedAnalysis,
     SelectedPointSummary,
     StreamingAnalysisResult,
+    TrafficAnalysisResult,
+    TrafficProjection,
     default_engine,
     trace_key,
 )
 from repro.api.parallel import SweepPlan, SweepRun, SweepSpec, plan_sweep, run_sweep
 from repro.api.registry import BATCHING, DATASETS, MODELS, SELECTORS, Registry
-from repro.api.spec import AnalysisSpec, ProjectionSpec
+from repro.api.spec import AnalysisSpec, ProjectionSpec, SpecBase
 
 __all__ = [
     "AnalysisEngine",
@@ -51,10 +53,13 @@ __all__ = [
     "ResolvedAnalysis",
     "SelectedPointSummary",
     "StreamingAnalysisResult",
+    "SpecBase",
     "SweepPlan",
     "SweepRun",
     "SweepSpec",
     "TraceCache",
+    "TrafficAnalysisResult",
+    "TrafficProjection",
     "Registry",
     "MODELS",
     "DATASETS",

@@ -26,7 +26,7 @@ from threading import Lock
 from typing import Any
 
 from repro.api.cache import TraceCache
-from repro.api.registry import DATASETS, MODELS, build_batching
+from repro.api.registry import BATCHING, DATASETS, MODELS, build_batching
 from repro.api.spec import AnalysisSpec, ProjectionSpec
 from repro.core.projection import (
     project_epoch_time,
@@ -53,6 +53,8 @@ __all__ = [
     "ConfigProjection",
     "SelectedPointSummary",
     "StreamingAnalysisResult",
+    "TrafficAnalysisResult",
+    "TrafficProjection",
     "ResolvedAnalysis",
     "default_engine",
     "trace_key",
@@ -247,6 +249,100 @@ class StreamingAnalysisResult:
             "batch_identification_error_pct": (
                 self.batch_identification_error_pct
             ),
+        }
+
+
+@dataclass(frozen=True)
+class TrafficProjection:
+    """Projected vs actual serving time on one Table II configuration.
+
+    The batch composition is fixed by the base run (the dynamic
+    batcher sees arrivals, not device speed), so a target config
+    re-times the *same* batches; the projection prices only the
+    selected (batch, SL) cells on the target device.
+    """
+
+    config: int
+    config_name: str
+    projected_serving_s: float
+    actual_serving_s: float
+    error_pct: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "config_name": self.config_name,
+            "projected_serving_s": self.projected_serving_s,
+            "actual_serving_s": self.actual_serving_s,
+            "error_pct": self.error_pct,
+        }
+
+
+@dataclass(frozen=True)
+class TrafficAnalysisResult:
+    """One traffic-driven serving run, identified and projected.
+
+    ``actual_total_s`` is the run's total device (serving compute)
+    time; ``makespan_s`` adds the queueing story (when the last batch
+    finished).  ``latency``/``queue_wait`` are SLO-style histogram
+    snapshots over per-request end-to-end latency and device-queue
+    wait.  The streaming block reports how the online identifier fared
+    against the live batch stream — including how often the drift
+    guard reset on mixture shifts.
+    """
+
+    spec: "Any"  # TrafficSpec (typed loosely to keep the import lazy)
+    requests: int
+    batches: int
+    unique_seq_lens: int
+    points: tuple[SelectedPointSummary, ...]
+    k: int | None
+    identification_error_pct: float
+    projected_total_s: float
+    actual_total_s: float
+    makespan_s: float
+    latency: dict[str, Any]
+    queue_wait: dict[str, Any]
+    converged: bool
+    iterations_consumed: int
+    checks: tuple["Any", ...]
+    drift_resets: int
+    streaming_projection_error_pct: float
+    matches_batch_selection: bool
+    projections: tuple[TrafficProjection, ...]
+    selection: Selection = dataclass_field(repr=False)
+
+    @property
+    def method(self) -> str:
+        return self.selection.method
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "method": self.method,
+            "requests": self.requests,
+            "batches": self.batches,
+            "unique_seq_lens": self.unique_seq_lens,
+            "points": [point.to_dict() for point in self.points],
+            "k": self.k,
+            "identification_error_pct": self.identification_error_pct,
+            "projected_total_s": self.projected_total_s,
+            "actual_total_s": self.actual_total_s,
+            "makespan_s": self.makespan_s,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "converged": self.converged,
+            "iterations_consumed": self.iterations_consumed,
+            "checks": [check.to_dict() for check in self.checks],
+            "drift_resets": self.drift_resets,
+            "streaming_projection_error_pct": (
+                self.streaming_projection_error_pct
+            ),
+            "matches_batch_selection": self.matches_batch_selection,
+            "projections": [p.to_dict() for p in self.projections],
         }
 
 
@@ -512,6 +608,196 @@ class AnalysisEngine:
             matches_batch_selection=selected == batch_selected,
             batch_identification_error_pct=batch.identification_error_pct,
             selection=run.selection,
+        )
+
+    def run_traffic(self, traffic: "Any") -> TrafficAnalysisResult:
+        """Execute a :class:`~repro.traffic.spec.TrafficSpec`.
+
+        A seeded arrival process paces requests bootstrap-resampled
+        from the scenario's training corpus (per the spec's mixture
+        schedule); the dynamic batcher forms device batches; the
+        serving loop times them through the batched pipeline.  The
+        resulting frame is identified with the spec's selector, the
+        live batch stream is replayed through the streaming identifier
+        (formation-instant chunks, drift guard active), and serving
+        time is projected onto any target configurations by re-timing
+        the *same* batch composition there.
+
+        ``arrival="offline"`` degenerates to the classic §VII-E
+        inference pass: the evaluation split is served as one epoch of
+        :class:`~repro.train.inference.InferenceRunSimulator` batches
+        (``experiments/inference.py`` routes here, bit-identically).
+        """
+        from repro.core.projection import project_total
+        from repro.stream.feed import TraceReplayFeed
+        from repro.stream.stats import StreamingSlStatistics
+        from repro.traffic.batcher import form_batches
+        from repro.traffic.feed import TrafficFeed
+        from repro.traffic.simulator import TrafficSimulator, latency_snapshot
+        from repro.traffic.spec import TrafficSpec
+        from repro.traffic.workload import sample_requests
+        from repro.train.inference import InferenceRunSimulator
+
+        if not isinstance(traffic, TrafficSpec):
+            raise ConfigurationError(
+                f"run_traffic expects a TrafficSpec, got {type(traffic).__name__}"
+            )
+        spec = traffic.analysis
+        resolved = self.resolve(spec)
+        policy = (
+            resolved.batching
+            if traffic.pad_multiple is None
+            else BATCHING.create(
+                spec.batching, spec.batch_size,
+                pad_multiple=traffic.pad_multiple,
+            )
+        )
+        targets = () if traffic.targets is None else traffic.targets
+
+        if traffic.arrival == "offline":
+            def simulator(config: int) -> InferenceRunSimulator:
+                return InferenceRunSimulator(
+                    resolved.model,
+                    resolved.eval_data,
+                    policy,
+                    GpuDevice(paper_config(config)),
+                    seed=spec.seed,
+                )
+
+            base = simulator(spec.config)
+            trace = base.run_pass()
+            frame = trace.frame()
+            selection, k, error, projected = self._select(spec, trace)
+            projections = []
+            for target in targets:
+                other = simulator(target)
+                actual = other.run_pass().total_time_s
+                projected_target = project_total(
+                    selection,
+                    lambda point: other.measure_seq_len(
+                        point.seq_len, point.tgt_len
+                    ),
+                )
+                projections.append(
+                    TrafficProjection(
+                        config=target,
+                        config_name=paper_config(target).name,
+                        projected_serving_s=projected_target,
+                        actual_serving_s=actual,
+                        error_pct=percent_error(projected_target, actual),
+                    )
+                )
+            requests_served = frame.samples
+            feed: "Any" = TraceReplayFeed(frame, chunk_size=1)
+            latency = latency_snapshot(frame.time_s)
+            queue_wait = latency_snapshot(
+                frame.time_s * 0.0  # no queueing in a replayed batch
+            )
+            makespan = frame.total_time_s
+        else:
+            workload = sample_requests(
+                resolved.train_data, traffic.phases, traffic.requests,
+                spec.seed,
+            )
+            arrival_s = traffic.build_arrivals().times(
+                len(workload), spec.seed
+            )
+            batches = form_batches(
+                arrival_s, workload.seq_len, workload.tgt_len, policy,
+                traffic.max_wait_s,
+            )
+            base_sim = TrafficSimulator(
+                resolved.model, spec.dataset, policy,
+                GpuDevice(paper_config(spec.config)),
+            )
+            served = base_sim.serve(workload, arrival_s, batches)
+            frame = served.frame
+            selection, k, error, projected = self._select(
+                spec, frame.to_trace()
+            )
+            base_cost = project_total(
+                selection,
+                lambda point: base_sim.measure_seq_len(
+                    point.seq_len, point.tgt_len
+                ),
+            )
+            projections = []
+            for target in targets:
+                target_sim = TrafficSimulator(
+                    resolved.model, spec.dataset, policy,
+                    GpuDevice(paper_config(target)),
+                )
+                actual = target_sim.serve(
+                    workload, arrival_s, batches
+                ).frame.total_time_s
+                # Speedup-style projection (paper Figs 15/16): price
+                # the selected cells on both devices and scale the
+                # *measured* base serving time by the cost ratio, so
+                # ragged flush batches cancel instead of being priced
+                # as full ones.
+                target_cost = project_total(
+                    selection,
+                    lambda point: target_sim.measure_seq_len(
+                        point.seq_len, point.tgt_len
+                    ),
+                )
+                projected_target = (
+                    frame.total_time_s * target_cost / base_cost
+                )
+                projections.append(
+                    TrafficProjection(
+                        config=target,
+                        config_name=paper_config(target).name,
+                        projected_serving_s=projected_target,
+                        actual_serving_s=actual,
+                        error_pct=percent_error(projected_target, actual),
+                    )
+                )
+            requests_served = len(workload)
+            feed = TrafficFeed(served)
+            latency = served.latency_percentiles()
+            queue_wait = served.queue_wait_percentiles()
+            makespan = served.makespan_s
+
+        run = traffic.build_identifier().run(
+            feed, stats=StreamingSlStatistics.for_frame(frame)
+        )
+        projected_serving = run.project_epoch_time(len(frame))
+        selected = {(p.seq_len, p.tgt_len) for p in run.selection.points}
+        batch_selected = {(p.seq_len, p.tgt_len) for p in selection.points}
+        return TrafficAnalysisResult(
+            spec=traffic,
+            requests=requests_served,
+            batches=len(frame),
+            unique_seq_lens=len(frame.unique_seq_lens()),
+            points=tuple(
+                SelectedPointSummary(
+                    seq_len=point.seq_len,
+                    tgt_len=point.tgt_len,
+                    weight=point.weight,
+                    time_s=point.record.time_s,
+                )
+                for point in selection.points
+            ),
+            k=k,
+            identification_error_pct=error,
+            projected_total_s=projected,
+            actual_total_s=frame.total_time_s,
+            makespan_s=makespan,
+            latency=latency,
+            queue_wait=queue_wait,
+            converged=run.converged,
+            iterations_consumed=run.iterations_consumed,
+            checks=run.checks,
+            drift_resets=sum(
+                1 for check in run.checks if check.drift_reset
+            ),
+            streaming_projection_error_pct=percent_error(
+                projected_serving, frame.total_time_s
+            ),
+            matches_batch_selection=selected == batch_selected,
+            projections=tuple(projections),
+            selection=selection,
         )
 
     def run_sweep(

@@ -38,13 +38,19 @@ import os
 import tempfile
 from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
 from repro.api.cache import TraceCache
 from repro.api.engine import NOISE_SIGMA, AnalysisEngine, AnalysisResult, trace_key
-from repro.api.spec import DEFAULT_BATCH_SIZE, AnalysisSpec, ProjectionSpec, _freeze_kwargs
+from repro.api.spec import (
+    DEFAULT_BATCH_SIZE,
+    AnalysisSpec,
+    ProjectionSpec,
+    SpecBase,
+    _freeze_kwargs,
+)
 from repro.errors import ConfigurationError
 from repro.models.plan import PLAN_CACHE, PlanStore
 
@@ -112,7 +118,7 @@ def _normalise_selector(entry: Any) -> tuple[str, tuple[tuple[str, Any], ...]]:
 
 
 @dataclass(frozen=True)
-class SweepSpec:
+class SweepSpec(SpecBase):
     """A grid of analyses, declaratively.
 
     The expansion order is documented and stable — networks, then
@@ -195,14 +201,7 @@ class SweepSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(payload) - known)
-        if unknown:
-            raise ConfigurationError(
-                f"unknown SweepSpec fields: {', '.join(unknown)}; "
-                f"expected a subset of: {', '.join(sorted(known))}"
-            )
-        return cls(**dict(payload))
+        return super().from_dict(payload)  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)

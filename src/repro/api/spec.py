@@ -8,10 +8,20 @@ validate eagerly (unknown names, bad ranges) so a malformed request
 fails at construction, not minutes into a simulation, and both
 round-trip through ``to_dict``/``from_dict`` so requests can live in
 JSON files, HTTP payloads, or experiment manifests.
+
+Every spec in the family (:class:`AnalysisSpec`, :class:`ProjectionSpec`,
+``SweepSpec``, ``StreamSpec``, ``TrafficSpec``) derives from
+:class:`SpecBase`, which supplies the versioned JSON envelope
+(``to_json``/``from_json``) and the strict payload validation shared by
+``from_dict``: non-mapping payloads, unknown fields, and wrong-typed
+fields all fail as one-line :class:`~repro.errors.ConfigurationError`\\ s.
+``to_dict`` stays envelope-free so existing saved specs and the serve
+wire format keep working verbatim.
 """
 
 from __future__ import annotations
 
+import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 from typing import Any
@@ -20,7 +30,7 @@ from repro.api import registry
 from repro.errors import ConfigurationError, ReproError
 from repro.hw.config import paper_config
 
-__all__ = ["AnalysisSpec", "ProjectionSpec", "DEFAULT_BATCH_SIZE"]
+__all__ = ["AnalysisSpec", "ProjectionSpec", "SpecBase", "DEFAULT_BATCH_SIZE"]
 
 #: The paper's fixed mini-batch size (§VI-B).
 DEFAULT_BATCH_SIZE = 64
@@ -51,8 +61,72 @@ def _freeze_kwargs(value: Any) -> tuple[tuple[str, Any], ...]:
     return tuple(frozen)
 
 
+class SpecBase:
+    """Shared contract for the declarative spec family.
+
+    Subclasses are frozen dataclasses; this mixin adds the versioned
+    JSON envelope and the strict ``from_dict`` payload validation.  The
+    envelope lives only in ``to_json``/``from_json`` — ``to_dict``
+    output is deliberately unversioned so historical spec JSON and the
+    serve wire format round-trip bit-identically.
+    """
+
+    #: Envelope version emitted by ``to_json`` and accepted (optionally)
+    #: by ``from_dict``/``from_json``.
+    SPEC_VERSION = 1
+
+    def to_dict(self) -> dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @classmethod
+    def _validate_payload(cls, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Strip the optional envelope and reject malformed payloads."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"{cls.__name__} payload must be a mapping, "
+                f"got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        version = data.pop("v", cls.SPEC_VERSION)
+        if version != cls.SPEC_VERSION:
+            raise ConfigurationError(
+                f"{cls.__name__} version {version!r} is not supported; "
+                f"this build speaks version {cls.SPEC_VERSION}"
+            )
+        known = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.__name__} fields: {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(sorted(known))}"
+            )
+        return data
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SpecBase":
+        data = cls._validate_payload(payload)
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigurationError(f"{cls.__name__}: {exc}") from None
+
+    def to_json(self) -> str:
+        """Serialise with the ``{"v": N, ...}`` envelope, one line."""
+        return json.dumps({"v": self.SPEC_VERSION, **self.to_dict()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpecBase":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{cls.__name__} JSON is malformed: {exc}"
+            ) from None
+        return cls.from_dict(payload)
+
+
 @dataclass(frozen=True)
-class AnalysisSpec:
+class AnalysisSpec(SpecBase):
     """One SeqPoint analysis, declaratively.
 
     ``dataset`` and ``batching`` default to the network's paper setup
@@ -164,18 +238,11 @@ class AnalysisSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "AnalysisSpec":
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(payload) - known)
-        if unknown:
-            raise ConfigurationError(
-                f"unknown AnalysisSpec fields: {', '.join(unknown)}; "
-                f"expected a subset of: {', '.join(sorted(known))}"
-            )
-        return cls(**dict(payload))
+        return super().from_dict(payload)  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
-class ProjectionSpec:
+class ProjectionSpec(SpecBase):
     """Which Table II configurations to project the analysis onto."""
 
     targets: tuple[int, ...] = (1, 2, 3, 4, 5)
@@ -198,9 +265,4 @@ class ProjectionSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ProjectionSpec":
-        unknown = sorted(set(payload) - {"targets"})
-        if unknown:
-            raise ConfigurationError(
-                f"unknown ProjectionSpec fields: {', '.join(unknown)}"
-            )
-        return cls(**dict(payload))
+        return super().from_dict(payload)  # type: ignore[return-value]

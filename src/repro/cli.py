@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the common workflows:
+Nine subcommands cover the common workflows:
 
 ``repro configs``
     Print the Table II hardware configurations.
@@ -26,9 +26,16 @@ Eight subcommands cover the common workflows:
     epoch length and the projection error vs the full-trace ground
     truth.
 
+``repro traffic --network gnmt [--arrival poisson --rate 64]``
+    Traffic-driven inference serving: a seeded arrival process paces
+    corpus-sampled requests through the dynamic batcher and the
+    batched timing pipeline, reporting SLO-style latency percentiles,
+    serving-time projections onto other configs, and the streaming
+    identifier's convergence on the live batch stream.
+
 ``repro serve [--port 8742] [--workers 2] [--cache-dir DIR]``
     The always-on analysis service: an HTTP/JSON daemon that accepts
-    analyze/sweep/stream jobs into an async queue, multiplexes
+    analyze/sweep/stream/traffic jobs into an async queue, multiplexes
     streaming identification sessions, and serves cache/queue/latency
     metrics on ``/stats``.  ``--check`` runs a self-test instead of
     serving: bind, self-request ``/stats``, run one tiny analyze job
@@ -47,6 +54,13 @@ Eight subcommands cover the common workflows:
 without installation.)  Library failures — unknown registry names,
 malformed specs, bad files — exit with code 2 and a one-line message
 on stderr, never a traceback.
+
+Every spec-driven subcommand (``analyze``/``sweep``/``stream``/
+``traffic``/``serve``) accepts ``--spec FILE`` with one precedence
+rule: the JSON file is the base document and inline flags override its
+fields one by one, so ``--spec base.json --batch-size 32`` runs the
+file's scenario at batch 32.  All commands share one ``--format
+{table,json}`` implementation.
 """
 
 from __future__ import annotations
@@ -72,10 +86,93 @@ from repro.experiments import registry
 from repro.experiments.setups import epoch_trace
 from repro.hw.config import PAPER_CONFIGS
 from repro.stream.spec import StreamSpec
+from repro.traffic import ARRIVAL_KINDS, TrafficSpec
 from repro.util.tables import render_table
 from repro.util.units import format_duration
 
 __all__ = ["main", "build_parser"]
+
+#: The one precedence rule every ``--spec`` flag follows.
+_SPEC_HELP = (
+    "JSON %s file used as the base document; inline flags "
+    "override its fields one by one (inline wins)"
+)
+
+
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--format`` flag (one implementation for all)."""
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default table)",
+    )
+
+
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulated traces to DIR and reuse them across runs",
+    )
+
+
+def _add_analysis_flags(parser: argparse.ArgumentParser, verb: str) -> None:
+    """The inline ``AnalysisSpec`` flags shared by spec-driven commands."""
+    parser.add_argument("--network", choices=MODELS.available())
+    parser.add_argument(
+        "--dataset", choices=DATASETS.available(),
+        help="corpus (default: the network's paper dataset)",
+    )
+    parser.add_argument(
+        "--batching", choices=BATCHING.available(),
+        help="input pipeline (default: the network's paper pipeline)",
+    )
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--config", type=int, default=None,
+        help=f"Table II config the {verb} runs on (default 1)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--selector", choices=SELECTORS.available())
+    parser.add_argument(
+        "--selector-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="selector keyword argument (repeatable), e.g. "
+        "--selector-arg error_threshold_pct=0.5",
+    )
+
+
+def _add_stream_knobs(
+    parser: argparse.ArgumentParser, cadence_default: int
+) -> None:
+    """The streaming-identifier knobs shared by stream and traffic."""
+    parser.add_argument(
+        "--cadence", type=int, default=None,
+        help=f"iterations between selector re-runs (default {cadence_default})",
+    )
+    parser.add_argument(
+        "--patience", type=int, default=None,
+        help="consecutive agreeing checks to converge (default 3)",
+    )
+    parser.add_argument(
+        "--rtol", type=float, default=None,
+        help="relative tolerance on the projected mean iteration time "
+        "(default 0.005)",
+    )
+    parser.add_argument(
+        "--drift-rtol", type=float, default=None,
+        help="per-SL mean drift that resets the window (default 0.02)",
+    )
+    parser.add_argument(
+        "--sl-rtol", type=float, default=None,
+        help="pointwise SL tolerance between checks; 0 = exact "
+        "(default 0.1)",
+    )
+    parser.add_argument(
+        "--min-iterations", type=int, default=None,
+        help="iterations to consume before the first check (default 0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,10 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=1.0,
         help="identification error threshold e, percent (default 1.0)",
     )
-    identify.add_argument(
-        "--format", choices=("table", "json"), default="table",
-        help="output format (default table)",
-    )
+    _add_format(identify)
 
     analyze = commands.add_parser(
         "analyze",
@@ -115,46 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--spec", default=None, metavar="FILE",
-        help="JSON AnalysisSpec file; mutually exclusive with inline flags",
+        help=_SPEC_HELP % "AnalysisSpec",
     )
-    analyze.add_argument("--network", choices=MODELS.available())
-    analyze.add_argument(
-        "--dataset", choices=DATASETS.available(),
-        help="corpus (default: the network's paper dataset)",
-    )
-    analyze.add_argument(
-        "--batching", choices=BATCHING.available(),
-        help="input pipeline (default: the network's paper pipeline)",
-    )
-    analyze.add_argument("--batch-size", type=int, default=None)
-    analyze.add_argument(
-        "--config", type=int, default=None,
-        help="Table II config the identification epoch runs on (default 1)",
-    )
-    analyze.add_argument(
-        "--scale", type=float, default=None,
-        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
-    )
-    analyze.add_argument("--seed", type=int, default=None)
-    analyze.add_argument("--selector", choices=SELECTORS.available())
-    analyze.add_argument(
-        "--selector-arg", action="append", default=[], metavar="KEY=VALUE",
-        help="selector keyword argument (repeatable), e.g. "
-        "--selector-arg error_threshold_pct=0.5",
-    )
+    _add_analysis_flags(analyze, "identification epoch")
     analyze.add_argument(
         "--targets", default=None,
         help="comma-separated Table II configs to project onto, or 'all' "
         "(default: the identification config only)",
     )
-    analyze.add_argument(
-        "--format", choices=("table", "json"), default="table",
-        help="output format (default table)",
-    )
-    analyze.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persist simulated traces to DIR and reuse them across runs",
-    )
+    _add_format(analyze)
+    _add_cache_dir(analyze)
 
     sweep = commands.add_parser(
         "sweep",
@@ -162,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--spec", default=None, metavar="FILE",
-        help="JSON SweepSpec file; mutually exclusive with inline axis flags",
+        help=_SPEC_HELP % "SweepSpec",
     )
     sweep.add_argument(
         "--networks", default=None,
@@ -211,10 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared on-disk plan store: each unique lowering compiles "
         "once per machine instead of once per worker process",
     )
-    sweep.add_argument(
-        "--format", choices=("table", "json"), default="table",
-        help="output format (default table)",
-    )
+    _add_format(sweep)
 
     stream = commands.add_parser(
         "stream",
@@ -222,89 +283,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--spec", default=None, metavar="FILE",
-        help="JSON StreamSpec file; mutually exclusive with inline flags",
+        help=_SPEC_HELP % "StreamSpec",
     )
-    stream.add_argument("--network", choices=MODELS.available())
-    stream.add_argument(
-        "--dataset", choices=DATASETS.available(),
-        help="corpus (default: the network's paper dataset)",
-    )
-    stream.add_argument(
-        "--batching", choices=BATCHING.available(),
-        help="input pipeline (default: the network's paper pipeline)",
-    )
-    stream.add_argument("--batch-size", type=int, default=None)
-    stream.add_argument(
-        "--config", type=int, default=None,
-        help="Table II config the streamed epoch runs on (default 1)",
-    )
-    stream.add_argument(
-        "--scale", type=float, default=None,
-        help="corpus scale in (0, 1]; 1.0 is paper-sized (default 0.1)",
-    )
-    stream.add_argument("--seed", type=int, default=None)
-    stream.add_argument("--selector", choices=SELECTORS.available())
-    stream.add_argument(
-        "--selector-arg", action="append", default=[], metavar="KEY=VALUE",
-        help="selector keyword argument (repeatable)",
-    )
-    stream.add_argument(
-        "--cadence", type=int, default=None,
-        help="iterations between selector re-runs (default 64)",
-    )
-    stream.add_argument(
-        "--patience", type=int, default=None,
-        help="consecutive agreeing checks to converge (default 3)",
-    )
-    stream.add_argument(
-        "--rtol", type=float, default=None,
-        help="relative tolerance on the projected mean iteration time "
-        "(default 0.005)",
-    )
-    stream.add_argument(
-        "--drift-rtol", type=float, default=None,
-        help="per-SL mean drift that resets the window (default 0.02)",
-    )
-    stream.add_argument(
-        "--sl-rtol", type=float, default=None,
-        help="pointwise SL tolerance between checks; 0 = exact "
-        "(default 0.1)",
-    )
+    _add_analysis_flags(stream, "streamed epoch")
+    _add_stream_knobs(stream, cadence_default=64)
     stream.add_argument(
         "--chunk-size", type=int, default=None,
         help="arrival granularity of the replayed feed (default 1)",
     )
-    stream.add_argument(
-        "--min-iterations", type=int, default=None,
-        help="iterations to consume before the first check (default 0)",
+    _add_format(stream)
+    _add_cache_dir(stream)
+
+    traffic = commands.add_parser(
+        "traffic",
+        help="traffic-driven inference serving simulation",
     )
-    stream.add_argument(
-        "--format", choices=("table", "json"), default="table",
-        help="output format (default table)",
+    traffic.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help=_SPEC_HELP % "TrafficSpec",
     )
-    stream.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persist simulated traces to DIR and reuse them across runs",
+    _add_analysis_flags(traffic, "serving device")
+    traffic.add_argument(
+        "--arrival", choices=ARRIVAL_KINDS, default=None,
+        help="request arrival process (default poisson)",
     )
+    traffic.add_argument(
+        "--rate", type=float, default=None,
+        help="mean request rate in requests/second (default 64)",
+    )
+    traffic.add_argument(
+        "--requests", type=int, default=None,
+        help="total requests to serve (default 1024)",
+    )
+    traffic.add_argument(
+        "--max-wait", type=float, default=None, dest="max_wait_s",
+        help="dynamic batcher's max-wait trigger in seconds (default 0.5)",
+    )
+    traffic.add_argument(
+        "--burst-factor", type=float, default=None,
+        help="bursty arrivals: on-period rate multiplier (default 3.0)",
+    )
+    traffic.add_argument(
+        "--on-fraction", type=float, default=None,
+        help="bursty arrivals: fraction of each period on (default 0.25)",
+    )
+    traffic.add_argument(
+        "--period-s", type=float, default=None,
+        help="bursty arrivals: on/off period in seconds (default 1.0)",
+    )
+    traffic.add_argument(
+        "--phases", default=None, metavar="JSON",
+        help="mixture schedule as a JSON list of phase objects, e.g. "
+        '\'[{"fraction": 0.5, "quantile_hi": 0.6}, '
+        '{"fraction": 0.5, "quantile_lo": 0.4}]\'',
+    )
+    traffic.add_argument(
+        "--pad-multiple", type=int, default=None,
+        help="override the dataset's pad multiple (default: keep it)",
+    )
+    traffic.add_argument(
+        "--targets", default=None,
+        help="comma-separated Table II configs to project serving time "
+        "onto, or 'all' (default: none)",
+    )
+    _add_stream_knobs(traffic, cadence_default=16)
+    _add_format(traffic)
+    _add_cache_dir(traffic)
 
     serve = commands.add_parser(
         "serve",
         help="run the always-on analysis service (HTTP/JSON daemon)",
     )
     serve.add_argument(
-        "--host", default="127.0.0.1",
+        "--spec", default=None, metavar="FILE",
+        help=_SPEC_HELP % "server-options",
+    )
+    serve.add_argument(
+        "--host", default=None,
         help="bind address (default 127.0.0.1)",
     )
     serve.add_argument(
-        "--port", type=int, default=8742,
+        "--port", type=int, default=None,
         help="bind port; 0 picks an ephemeral port (default 8742)",
     )
     serve.add_argument(
-        "--workers", type=int, default=2,
+        "--workers", type=int, default=None,
         help="job worker threads (default 2)",
     )
     serve.add_argument(
-        "--sweep-mode", choices=("serial", "process"), default="process",
+        "--sweep-mode", choices=("serial", "process"), default=None,
         help="how sweep jobs execute (default process)",
     )
     serve.add_argument(
@@ -459,6 +526,56 @@ def _parse_targets(raw: str | None, fallback: int) -> tuple[int, ...]:
     return targets
 
 
+def _spec_payload(path: str | None) -> dict[str, object]:
+    """Load a ``--spec`` JSON file as the base document for merging."""
+    if path is None:
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"--spec {path} must contain a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _emit(fmt: str, result: object, render) -> int:
+    """The shared ``--format`` implementation: one JSON/table emitter."""
+    if fmt == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(render(result))
+    return 0
+
+
+def _merge_nested(
+    command: str,
+    base: dict[str, object],
+    inline: dict[str, object],
+    knobs: dict[str, object],
+) -> dict[str, object]:
+    """Overlay inline flags onto a spec document with a nested analysis.
+
+    The file is the base; inline analysis flags override fields of its
+    ``analysis`` object, top-level knob flags override its top-level
+    fields.  (The one precedence rule every ``--spec`` flag follows.)
+    """
+    analysis = base.get("analysis", {})
+    if not isinstance(analysis, dict):
+        raise ReproError(
+            f"--spec 'analysis' must be a JSON object, "
+            f"got {type(analysis).__name__}"
+        )
+    analysis = {**analysis, **inline}
+    if "network" not in analysis:
+        raise ReproError(f"{command} needs --network (or --spec FILE)")
+    merged = {key: value for key, value in base.items() if key != "analysis"}
+    merged.update(knobs)
+    merged["analysis"] = analysis
+    return merged
+
+
 def _inline_analysis(args: argparse.Namespace) -> dict[str, object]:
     """The inline AnalysisSpec fields a command was given, as a dict."""
     inline = {
@@ -479,20 +596,12 @@ def _inline_analysis(args: argparse.Namespace) -> dict[str, object]:
 
 
 def _analyze_spec(args: argparse.Namespace) -> AnalysisSpec:
-    inline = _inline_analysis(args)
-
-    if args.spec is not None:
-        if inline:
-            raise ReproError(
-                "--spec and inline spec flags are mutually exclusive "
-                f"(got inline: {', '.join(sorted(inline))})"
-            )
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            return AnalysisSpec.from_dict(json.load(handle))
-    if "network" not in inline:
+    merged = {**_spec_payload(args.spec), **_inline_analysis(args)}
+    if "network" not in merged:
         raise ReproError("analyze needs --network (or --spec FILE)")
-    inline.setdefault("scale", 0.1)
-    return AnalysisSpec.from_dict(inline)
+    if args.spec is None:
+        merged.setdefault("scale", 0.1)
+    return AnalysisSpec.from_dict(merged)
 
 
 def _render_analysis(result: AnalysisResult) -> str:
@@ -548,38 +657,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 2
     except KeyError as exc:
         return _unknown_name("analyze", exc)
-    if args.format == "json":
-        print(json.dumps(result.to_dict(), indent=2))
-    else:
-        print(_render_analysis(result))
-    return 0
+    return _emit(args.format, result, _render_analysis)
 
 
-def _stream_spec(args: argparse.Namespace) -> StreamSpec:
-    inline = _inline_analysis(args)
+def _stream_knobs(args: argparse.Namespace) -> dict[str, object]:
     knobs = {
         "cadence": args.cadence,
         "patience": args.patience,
         "rtol": args.rtol,
         "drift_rtol": args.drift_rtol,
         "sl_rtol": args.sl_rtol,
-        "chunk_size": args.chunk_size,
         "min_iterations": args.min_iterations,
     }
-    knobs = {key: value for key, value in knobs.items() if value is not None}
+    return {key: value for key, value in knobs.items() if value is not None}
 
-    if args.spec is not None:
-        if inline or knobs:
-            raise ReproError(
-                "--spec and inline stream flags are mutually exclusive "
-                f"(got inline: {', '.join(sorted({**inline, **knobs}))})"
-            )
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            return StreamSpec.from_dict(json.load(handle))
-    if "network" not in inline:
-        raise ReproError("stream needs --network (or --spec FILE)")
-    inline.setdefault("scale", 0.1)
-    return StreamSpec(analysis=AnalysisSpec.from_dict(inline), **knobs)
+
+def _stream_spec(args: argparse.Namespace) -> StreamSpec:
+    knobs = _stream_knobs(args)
+    if args.chunk_size is not None:
+        knobs["chunk_size"] = args.chunk_size
+    merged = _merge_nested(
+        "stream", _spec_payload(args.spec), _inline_analysis(args), knobs
+    )
+    if args.spec is None:
+        merged["analysis"].setdefault("scale", 0.1)
+    return StreamSpec.from_dict(merged)
 
 
 def _render_stream(result: StreamingAnalysisResult) -> str:
@@ -634,11 +736,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         return 2
     except KeyError as exc:
         return _unknown_name("stream", exc)
-    if args.format == "json":
-        print(json.dumps(result.to_dict(), indent=2))
-    else:
-        print(_render_stream(result))
-    return 0
+    return _emit(args.format, result, _render_stream)
 
 
 def _unknown_name(command: str, exc: KeyError) -> int:
@@ -682,18 +780,12 @@ def _sweep_spec(args: argparse.Namespace) -> SweepSpec:
     if args.targets is not None:
         inline["targets"] = _parse_targets(args.targets, 1)
 
-    if args.spec is not None:
-        if inline:
-            raise ReproError(
-                "--spec and inline sweep flags are mutually exclusive "
-                f"(got inline: {', '.join(sorted(inline))})"
-            )
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            return SweepSpec.from_dict(json.load(handle))
-    if "networks" not in inline:
+    merged = {**_spec_payload(args.spec), **inline}
+    if "networks" not in merged:
         raise ReproError("sweep needs --networks (or --spec FILE)")
-    inline.setdefault("scales", [0.1])
-    return SweepSpec.from_dict(inline)
+    if args.spec is None:
+        merged.setdefault("scales", [0.1])
+    return SweepSpec.from_dict(merged)
 
 
 def _render_sweep(run: SweepRun) -> str:
@@ -738,11 +830,124 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     except KeyError as exc:
         return _unknown_name("sweep", exc)
-    if args.format == "json":
-        print(json.dumps(run.to_dict(), indent=2))
-    else:
-        print(_render_sweep(run))
-    return 0
+    return _emit(args.format, run, _render_sweep)
+
+
+def _traffic_spec(args: argparse.Namespace) -> TrafficSpec:
+    knobs = _stream_knobs(args)
+    traffic_knobs = {
+        "arrival": args.arrival,
+        "rate": args.rate,
+        "requests": args.requests,
+        "max_wait_s": args.max_wait_s,
+        "burst_factor": args.burst_factor,
+        "on_fraction": args.on_fraction,
+        "period_s": args.period_s,
+        "pad_multiple": args.pad_multiple,
+    }
+    knobs.update(
+        {k: v for k, v in traffic_knobs.items() if v is not None}
+    )
+    if args.phases is not None:
+        try:
+            knobs["phases"] = json.loads(args.phases)
+        except json.JSONDecodeError:
+            raise ReproError(
+                f"--phases expects a JSON list of phase objects, "
+                f"got {args.phases!r}"
+            ) from None
+    if args.targets is not None:
+        knobs["targets"] = list(_parse_targets(args.targets, 1))
+    merged = _merge_nested(
+        "traffic", _spec_payload(args.spec), _inline_analysis(args), knobs
+    )
+    if args.spec is None:
+        merged["analysis"].setdefault("scale", 0.1)
+    return TrafficSpec.from_dict(merged)
+
+
+def _render_traffic(result: "object") -> str:
+    spec = result.spec
+    analysis = spec.analysis
+    status = (
+        f"identifier converged after {len(result.checks)} checks"
+        if result.converged
+        else "identifier did not converge on the stream"
+    )
+    latency = result.latency
+    queue = result.queue_wait
+    parts = [
+        f"{analysis.network} on {analysis.dataset} ({analysis.batching}, "
+        f"batch {analysis.batch_size}, config#{analysis.config}, "
+        f"{spec.arrival} arrivals, {len(spec.phases)} phase(s))",
+        f"served {result.requests} requests in {result.batches} batches "
+        f"({result.unique_seq_lens} unique SLs, device time "
+        f"{format_duration(result.actual_total_s)}, makespan "
+        f"{format_duration(result.makespan_s)})",
+        f"{result.method}: {len(result)} points"
+        + (f" (k={result.k})" if result.k is not None else "")
+        + f", identification error {result.identification_error_pct:.3f}%",
+        "",
+        render_table(
+            ["seq_len", "tgt_len", "weight", "time_s"],
+            [
+                [p.seq_len, p.tgt_len if p.tgt_len is not None else "-",
+                 round(p.weight, 1), p.time_s]
+                for p in result.points
+            ],
+            title="selected points",
+        ),
+        "",
+        render_table(
+            ["metric", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            [
+                ["latency", latency["mean_ms"], latency["p50_ms"],
+                 latency["p95_ms"], latency["p99_ms"], latency["max_ms"]],
+                ["queue wait", queue["mean_ms"], queue["p50_ms"],
+                 queue["p95_ms"], queue["p99_ms"], queue["max_ms"]],
+            ],
+            title="request latency (SLO view)",
+        ),
+        "",
+        f"streaming: consumed {result.iterations_consumed} of "
+        f"{result.batches} batches — {status}, "
+        f"{result.drift_resets} drift reset(s), projected serving time "
+        f"error {result.streaming_projection_error_pct:.3f}%, selection "
+        + ("matches" if result.matches_batch_selection else "differs from")
+        + " the batch analysis",
+    ]
+    if result.projections:
+        parts += [
+            "",
+            render_table(
+                ["config", "projected", "actual", "error %"],
+                [
+                    [p.config_name,
+                     format_duration(p.projected_serving_s),
+                     format_duration(p.actual_serving_s),
+                     round(p.error_pct, 3)]
+                    for p in result.projections
+                ],
+                title="serving-time projections",
+            ),
+        ]
+    return "\n".join(parts)
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    try:
+        traffic = _traffic_spec(args)
+        if args.cache_dir is not None:
+            engine = AnalysisEngine(cache=TraceCache(args.cache_dir))
+        else:
+            engine = default_engine()
+        result = engine.run_traffic(traffic)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"traffic: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        return _unknown_name("traffic", exc)
+    return _emit(args.format, result, _render_traffic)
 
 
 def _serve_check(server: "object") -> int:
@@ -789,27 +994,74 @@ def _serve_check(server: "object") -> int:
     return 0
 
 
+#: Every server option a serve --spec file may set (= the inline flags).
+_SERVE_OPTION_KEYS = (
+    "host", "port", "workers", "sweep_mode", "sweep_workers", "cache_dir",
+    "plan_store_dir", "cache_max_bytes", "cache_max_entries",
+    "queue_depth", "max_sessions",
+)
+_SERVE_DEFAULTS = {
+    "host": "127.0.0.1", "port": 8742, "workers": 2, "sweep_mode": "process",
+}
+
+
+def _serve_options(args: argparse.Namespace) -> dict[str, object]:
+    """serve's --spec merge: file is the base, inline flags win."""
+    base = _spec_payload(args.spec)
+    base.pop("v", None)
+    unknown = sorted(set(base) - set(_SERVE_OPTION_KEYS))
+    if unknown:
+        raise ReproError(
+            f"unknown serve --spec fields: {', '.join(unknown)}; expected "
+            f"a subset of: {', '.join(_SERVE_OPTION_KEYS)}"
+        )
+    options: dict[str, object] = dict.fromkeys(_SERVE_OPTION_KEYS)
+    options.update(_SERVE_DEFAULTS)
+    options.update(base)
+    options.update(
+        {
+            key: getattr(args, key)
+            for key in _SERVE_OPTION_KEYS
+            if getattr(args, key) is not None
+        }
+    )
+    if options["sweep_mode"] not in ("serial", "process"):
+        raise ReproError(
+            f"sweep_mode must be 'serial' or 'process', "
+            f"got {options['sweep_mode']!r}"
+        )
+    return options
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ReproServer
 
     try:
+        options = _serve_options(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    try:
         server = ReproServer(
-            args.host,
-            0 if args.check else args.port,
-            cache_dir=args.cache_dir,
-            cache_max_bytes=args.cache_max_bytes,
-            cache_max_entries=args.cache_max_entries,
-            workers=args.workers,
-            sweep_mode=args.sweep_mode,
-            sweep_workers=args.sweep_workers,
-            queue_depth=args.queue_depth,
-            max_sessions=args.max_sessions,
-            plan_store_dir=args.plan_store_dir,
+            options["host"],
+            0 if args.check else options["port"],
+            cache_dir=options["cache_dir"],
+            cache_max_bytes=options["cache_max_bytes"],
+            cache_max_entries=options["cache_max_entries"],
+            workers=options["workers"],
+            sweep_mode=options["sweep_mode"],
+            sweep_workers=options["sweep_workers"],
+            queue_depth=options["queue_depth"],
+            max_sessions=options["max_sessions"],
+            plan_store_dir=options["plan_store_dir"],
         )
     except OSError as exc:
-        print(f"serve: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        print(
+            f"serve: cannot bind {options['host']}:{options['port']}: {exc}",
+            file=sys.stderr,
+        )
         return 2
-    except ValueError as exc:
+    except (TypeError, ValueError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
     if args.check:
@@ -891,6 +1143,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sweep(args)
         if args.command == "stream":
             return _cmd_stream(args)
+        if args.command == "traffic":
+            return _cmd_traffic(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "trace":

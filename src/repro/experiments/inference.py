@@ -3,20 +3,21 @@
 Serves the evaluation split of each corpus as forward-only requests
 (batch 8, bucketed — a realistic serving setup), identifies SeqPoints
 on the inference trace, and projects serving time onto config #3.
+
+The experiment routes through the traffic layer
+(:meth:`~repro.api.engine.AnalysisEngine.run_traffic`) with the
+degenerate ``offline`` arrival process: all requests present up front,
+so the run reduces to exactly the paper's batched evaluation pass.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.core.projection import project_total
-from repro.core.seqpoint import SeqPointSelector
-from repro.data.batching import PooledBucketing
+from repro.api.engine import default_engine
+from repro.api.spec import AnalysisSpec
 from repro.experiments.base import ExperimentResult
-from repro.experiments.setups import scenario
-from repro.hw.config import paper_config
-from repro.hw.device import GpuDevice
-from repro.train.inference import InferenceRunSimulator
+from repro.traffic.spec import TrafficSpec
 
 __all__ = ["run", "inference_outcome"]
 
@@ -25,31 +26,26 @@ _SERVING_BATCH = 8
 
 @lru_cache(maxsize=None)
 def inference_outcome(network: str, scale: float = 1.0) -> dict[str, float]:
-    setup = scenario(network, scale)
-
-    def simulator(config_index: int) -> InferenceRunSimulator:
-        return InferenceRunSimulator(
-            setup.model,
-            setup.eval_data,
-            PooledBucketing(_SERVING_BATCH),
-            GpuDevice(paper_config(config_index)),
-        )
-
-    base = simulator(1)
-    trace = base.run_pass()
-    result = SeqPointSelector().select(trace)
-
-    other = simulator(3)
-    actual = other.run_pass().total_time_s
-    projected = project_total(
-        result.selection,
-        lambda point: other.measure_seq_len(point.seq_len, point.tgt_len),
+    traffic = TrafficSpec(
+        analysis=AnalysisSpec(
+            network=network,
+            batch_size=_SERVING_BATCH,
+            batching="pooled",
+            config=1,
+            scale=scale,
+        ),
+        arrival="offline",
+        # The paper's serving setup buckets without the corpus pad
+        # multiple (requests arrive unpadded).
+        pad_multiple=1,
+        targets=(3,),
     )
+    result = default_engine().run_traffic(traffic)
     return {
-        "requests": float(len(trace)),
-        "seqpoints": float(len(result.selection)),
+        "requests": float(result.batches),
+        "seqpoints": float(len(result.points)),
         "ident_error_pct": result.identification_error_pct,
-        "config3_error_pct": abs(projected - actual) / actual * 100.0,
+        "config3_error_pct": result.projections[0].error_pct,
     }
 
 

@@ -1,7 +1,7 @@
 """repro.serve — the always-on analysis service.
 
 A stdlib-only HTTP/JSON daemon over the existing analysis engine:
-``analyze``/``sweep``/``stream`` requests become queued jobs executed
+``analyze``/``sweep``/``stream``/``traffic`` requests become queued jobs executed
 by a worker tier against one shared, LRU-bounded
 :class:`~repro.api.cache.TraceCache`, and streaming identifications run
 as concurrent multiplexed sessions.  The wire format is the existing

@@ -7,7 +7,8 @@ are present.  Requests reuse the library's declarative specs verbatim —
 an ``analyze`` job body embeds an
 :class:`~repro.api.spec.AnalysisSpec` dict, ``sweep`` a
 :class:`~repro.api.parallel.SweepSpec`, ``stream`` a
-:class:`~repro.stream.spec.StreamSpec` — so anything that JSON
+:class:`~repro.stream.spec.StreamSpec`, ``traffic`` a
+:class:`~repro.traffic.spec.TrafficSpec` — so anything that JSON
 round-trips through the batch API is a valid wire payload with no
 translation layer.
 
@@ -27,6 +28,7 @@ from repro.api.parallel import SWEEP_MODES, SweepSpec
 from repro.api.spec import AnalysisSpec, ProjectionSpec
 from repro.errors import ConfigurationError, ReproError
 from repro.stream.spec import StreamSpec
+from repro.traffic.spec import TrafficSpec
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -47,7 +49,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Job kinds the service accepts, in documentation order.
-JOB_KINDS = ("analyze", "sweep", "stream")
+JOB_KINDS = ("analyze", "sweep", "stream", "traffic")
 
 
 class ProtocolError(ReproError):
@@ -100,7 +102,7 @@ class JobRequest:
     """
 
     kind: str
-    spec: AnalysisSpec | SweepSpec | StreamSpec
+    spec: AnalysisSpec | SweepSpec | StreamSpec | TrafficSpec
     projection: ProjectionSpec | None = None
     mode: str | None = None
     workers: int | None = None
@@ -111,6 +113,11 @@ class JobRequest:
             return f"analyze {self.spec.network}"
         if self.kind == "sweep":
             return f"sweep {'x'.join(self.spec.networks)} ({len(self.spec)} points)"
+        if self.kind == "traffic":
+            return (
+                f"traffic {self.spec.analysis.network} "
+                f"({self.spec.requests} requests)"
+            )
         return f"stream {self.spec.analysis.network}"
 
 
@@ -169,6 +176,8 @@ def parse_job_submission(payload: Any) -> JobRequest:
         spec: Any = AnalysisSpec.from_dict(spec_payload)
     elif kind == "sweep":
         spec = SweepSpec.from_dict(spec_payload)
+    elif kind == "traffic":
+        spec = TrafficSpec.from_dict(spec_payload)
     else:
         spec = StreamSpec.from_dict(spec_payload)
     return JobRequest(

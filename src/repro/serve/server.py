@@ -15,7 +15,7 @@ method    path                        meaning
 ========  ==========================  =======================================
 GET       ``/healthz``                liveness probe
 GET       ``/stats``                  cache/queue/session/latency metrics
-POST      ``/jobs``                   submit an analyze/sweep/stream job
+POST      ``/jobs``                   submit an analyze/sweep/stream/traffic job
 GET       ``/jobs``                   list job status snapshots
 GET       ``/jobs/<id>``              one job's status
 GET       ``/jobs/<id>/result``       the finished job's result payload

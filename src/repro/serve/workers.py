@@ -122,6 +122,8 @@ class WorkerPool:
             payload = self.engine.run(request.spec, request.projection).to_dict()
         elif request.kind == "stream":
             payload = self.engine.run_streaming(request.spec).to_dict()
+        elif request.kind == "traffic":
+            payload = self.engine.run_traffic(request.spec).to_dict()
         else:
             payload = self._run_sweep(job, request).to_dict()
         # A cancel that lands while the final selector call is in

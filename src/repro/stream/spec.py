@@ -11,17 +11,17 @@ workflows.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Any
 
-from repro.api.spec import AnalysisSpec
+from repro.api.spec import AnalysisSpec, SpecBase
 from repro.errors import ConfigurationError
 
 __all__ = ["StreamSpec"]
 
 
 @dataclass(frozen=True)
-class StreamSpec:
+class StreamSpec(SpecBase):
     """One online identification, declaratively.
 
     ``analysis`` names the scenario and selector; the remaining fields
@@ -125,13 +125,7 @@ class StreamSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "StreamSpec":
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(payload) - known)
-        if unknown:
-            raise ConfigurationError(
-                f"unknown StreamSpec fields: {', '.join(unknown)}; "
-                f"expected a subset of: {', '.join(sorted(known))}"
-            )
-        if "analysis" not in payload:
+        data = cls._validate_payload(payload)
+        if "analysis" not in data:
             raise ConfigurationError("StreamSpec needs an 'analysis' object")
-        return cls(**dict(payload))
+        return cls(**data)

@@ -1,0 +1,54 @@
+"""Traffic-driven inference serving: synthetic production load.
+
+The serving twin of the training pipeline: a seeded arrival process
+(:mod:`repro.traffic.arrivals`) paces bootstrap-resampled corpus
+requests (:mod:`repro.traffic.workload`, with mixture schedules that
+shift the length mix mid-run); a dynamic batcher built on the epoch
+batching policies closes device batches on max-batch/max-wait triggers
+(:mod:`repro.traffic.batcher`); and the serving loop times each batch
+through the batched lowering→timing pipeline into a standard
+:class:`~repro.train.frame.TraceFrame` plus SLO-style latency
+percentiles (:mod:`repro.traffic.simulator`).
+
+Declarative entry points mirror the rest of the API: a JSON
+round-trip :class:`~repro.traffic.spec.TrafficSpec` nesting
+``AnalysisSpec``, :meth:`repro.api.engine.AnalysisEngine.run_traffic`,
+the ``repro traffic`` CLI command, a ``traffic`` job kind in
+``repro.serve``, and :class:`~repro.traffic.feed.TrafficFeed`, which
+lets the streaming identifier consume the live batch stream.
+"""
+
+from repro.traffic.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    OfflineArrivals,
+    PoissonArrivals,
+    build_arrival_process,
+)
+from repro.traffic.batcher import DynamicBatcher, FormedBatch, form_batches
+from repro.traffic.feed import TrafficFeed
+from repro.traffic.simulator import ServedTraffic, TrafficSimulator
+from repro.traffic.spec import TrafficSpec
+from repro.traffic.workload import RequestSet, TrafficPhase, sample_requests
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "DynamicBatcher",
+    "FormedBatch",
+    "OfflineArrivals",
+    "PoissonArrivals",
+    "RequestSet",
+    "ServedTraffic",
+    "TrafficFeed",
+    "TrafficPhase",
+    "TrafficSimulator",
+    "TrafficSpec",
+    "build_arrival_process",
+    "form_batches",
+    "sample_requests",
+]

@@ -1,0 +1,198 @@
+"""Request arrival processes: when traffic reaches the serving queue.
+
+Each process maps ``(count, seed)`` to a sorted float64 array of
+arrival instants in seconds, seeded through :mod:`repro.util.rng` so a
+traffic run is bit-reproducible end to end.  Four regimes cover the
+serving literature's usual suspects:
+
+* :class:`OfflineArrivals` — every request is already waiting at t=0
+  (a batch job pretending to be traffic; degenerate on purpose, it is
+  how ``experiments/inference.py`` routes through the traffic layer).
+* :class:`DeterministicArrivals` — a perfectly paced load generator.
+* :class:`PoissonArrivals` — memoryless open-loop traffic, the
+  canonical serving assumption.
+* :class:`BurstyArrivals` — an on/off modulated Poisson process: the
+  rate alternates between ``burst_factor * rate`` (a fraction
+  ``on_fraction`` of each period) and a compensating trough, keeping
+  the long-run mean at ``rate``.  Sampled by inverting the piecewise
+  linear integrated rate, so the event count stays exact.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "OfflineArrivals",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "build_arrival_process",
+]
+
+#: Registered arrival-process kinds, in documentation order.
+ARRIVAL_KINDS = ("offline", "deterministic", "poisson", "bursty")
+
+
+def _check_rate(rate: float) -> float:
+    try:
+        rate = float(rate)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"rate must be numeric, got {rate!r}") from None
+    if not rate > 0.0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    return rate
+
+
+class ArrivalProcess(ABC):
+    """Maps a request count to deterministic arrival instants."""
+
+    #: Registry name of this process (one of :data:`ARRIVAL_KINDS`).
+    kind: str
+
+    @abstractmethod
+    def times(self, count: int, seed: int) -> np.ndarray:
+        """Sorted float64 arrival seconds for ``count`` requests."""
+
+    def _rng(self, seed: int) -> np.random.Generator:
+        return make_rng(derive_seed(seed, "traffic-arrivals", self.kind))
+
+
+class OfflineArrivals(ArrivalProcess):
+    """All requests present at t=0 (a replayed batch, not live load)."""
+
+    kind = "offline"
+
+    def times(self, count: int, seed: int) -> np.ndarray:
+        return np.zeros(count, dtype=np.float64)
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly paced arrivals at exactly ``rate`` requests/second."""
+
+    kind = "deterministic"
+
+    def __init__(self, rate: float):
+        self.rate = _check_rate(rate)
+
+    def times(self, count: int, seed: int) -> np.ndarray:
+        return np.arange(count, dtype=np.float64) / self.rate
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals with exponential inter-arrival gaps."""
+
+    kind = "poisson"
+
+    def __init__(self, rate: float):
+        self.rate = _check_rate(rate)
+
+    def times(self, count: int, seed: int) -> np.ndarray:
+        gaps = self._rng(seed).exponential(1.0 / self.rate, size=count)
+        return np.cumsum(gaps)
+
+
+class BurstyArrivals(ArrivalProcess):
+    """On/off modulated Poisson traffic with mean rate ``rate``.
+
+    Each ``period_s``-second window opens with a burst at
+    ``burst_factor * rate`` lasting ``on_fraction`` of the period, then
+    drops to the trough rate that keeps the window's mean at ``rate``
+    (which requires ``burst_factor * on_fraction < 1``).  Events come
+    from a unit-rate Poisson process pushed through the inverse of the
+    integrated rate function — the standard inversion construction for
+    inhomogeneous Poisson processes.
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        rate: float,
+        burst_factor: float = 3.0,
+        on_fraction: float = 0.25,
+        period_s: float = 1.0,
+    ):
+        self.rate = _check_rate(rate)
+        try:
+            burst_factor = float(burst_factor)
+            on_fraction = float(on_fraction)
+            period_s = float(period_s)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"burst_factor/on_fraction/period_s must be numeric, got "
+                f"{burst_factor!r}/{on_fraction!r}/{period_s!r}"
+            ) from None
+        if burst_factor < 1.0:
+            raise ConfigurationError(
+                f"burst_factor must be >= 1, got {burst_factor}"
+            )
+        if not 0.0 < on_fraction < 1.0:
+            raise ConfigurationError(
+                f"on_fraction must lie in (0, 1), got {on_fraction}"
+            )
+        if burst_factor * on_fraction >= 1.0:
+            raise ConfigurationError(
+                f"burst_factor * on_fraction must be < 1 so the off-phase "
+                f"rate stays positive, got {burst_factor * on_fraction}"
+            )
+        if not period_s > 0.0:
+            raise ConfigurationError(
+                f"period_s must be positive, got {period_s}"
+            )
+        self.burst_factor = burst_factor
+        self.on_fraction = on_fraction
+        self.period_s = period_s
+
+    def times(self, count: int, seed: int) -> np.ndarray:
+        # Integrated-hazard values of a unit-rate Poisson process ...
+        hazard = np.cumsum(self._rng(seed).exponential(1.0, size=count))
+        # ... inverted through the piecewise linear cumulative rate.
+        rate_on = self.burst_factor * self.rate
+        on_share = self.burst_factor * self.on_fraction
+        rate_off = self.rate * (1.0 - on_share) / (1.0 - self.on_fraction)
+        per_period = self.rate * self.period_s  # hazard mass per period
+        on_mass = rate_on * self.on_fraction * self.period_s
+        period = np.floor(hazard / per_period)
+        residual = hazard - period * per_period
+        in_burst = residual <= on_mass
+        offset = np.where(
+            in_burst,
+            residual / rate_on,
+            self.on_fraction * self.period_s + (residual - on_mass) / rate_off,
+        )
+        return period * self.period_s + offset
+
+
+def build_arrival_process(
+    kind: str,
+    rate: float = 64.0,
+    burst_factor: float = 3.0,
+    on_fraction: float = 0.25,
+    period_s: float = 1.0,
+) -> ArrivalProcess:
+    """Instantiate a named arrival process with its relevant knobs."""
+    if kind == "offline":
+        return OfflineArrivals()
+    if kind == "deterministic":
+        return DeterministicArrivals(rate)
+    if kind == "poisson":
+        return PoissonArrivals(rate)
+    if kind == "bursty":
+        return BurstyArrivals(
+            rate,
+            burst_factor=burst_factor,
+            on_fraction=on_fraction,
+            period_s=period_s,
+        )
+    raise ConfigurationError(
+        f"unknown arrival process {kind!r}; expected one of: "
+        f"{', '.join(ARRIVAL_KINDS)}"
+    )

@@ -1,0 +1,160 @@
+"""Dynamic batching: forming device batches from a live arrival queue.
+
+The epoch-oriented policies in :mod:`repro.data.batching` already
+encode *how requests should be grouped* (FIFO for shuffled pipelines,
+length-bucketed for pooled/sorted ones, padded to the policy's
+``pad_multiple``); this module adds the serving-side question of *when*
+a batch may form.  Two triggers close a batch:
+
+* **max-batch** — the waiting pool reaches the policy's capacity
+  (``batch_size`` for FIFO policies, ``pool_factor * batch_size`` for
+  pooled bucketing, unbounded for fully sorted policies, which only
+  ever flush on the wait trigger), and
+* **max-wait** — the oldest waiting request has been queued for
+  ``max_wait_s``, at which point *everything* waiting is flushed
+  (ragged tail included) so no request waits unboundedly.
+
+Formation is a pure function of arrivals and lengths — no randomness —
+so a seeded arrival process plus any policy yields a bit-deterministic
+batch sequence (a property test asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import (
+    BatchingPolicy,
+    PooledBucketing,
+    ShuffledBatching,
+    SortaGradBatching,
+    SortedBatching,
+)
+from repro.errors import ConfigurationError
+from repro.train.frame import NO_TGT
+
+__all__ = ["FormedBatch", "DynamicBatcher", "form_batches"]
+
+
+@dataclass(frozen=True)
+class FormedBatch:
+    """One device batch as the dynamic batcher closed it.
+
+    ``members`` are request indices into the arrival stream, in the
+    order the policy packed them; ``seq_len``/``tgt_len`` are the
+    padded batch maxima (``NO_TGT`` when the corpus has no target
+    side), exactly as an epoch iteration would record them.
+    """
+
+    form_time_s: float
+    members: np.ndarray
+    seq_len: int
+    tgt_len: int
+
+    def __len__(self) -> int:
+        return int(self.members.size)
+
+
+def _policy_queue(policy: BatchingPolicy) -> tuple[bool, int | None]:
+    """``(bucketed, capacity)`` the serving queue derives from a policy.
+
+    Mirrors what each policy does to an epoch: shuffled pipelines keep
+    arrival order and dispatch as soon as one batch is full; pooled
+    bucketing sorts within a ``pool_factor``-batch pool; fully sorted
+    policies (DS2's SortaGrad identification epoch) sort everything
+    they can see, so only the wait deadline bounds their pool.
+    """
+    if isinstance(policy, PooledBucketing):
+        return True, policy.pool_factor * policy.batch_size
+    if isinstance(policy, (SortedBatching, SortaGradBatching)):
+        return True, None
+    if isinstance(policy, ShuffledBatching):
+        return False, policy.batch_size
+    return True, policy.batch_size
+
+
+def form_batches(
+    arrival_s: np.ndarray,
+    seq_len: np.ndarray,
+    tgt_len: np.ndarray,
+    policy: BatchingPolicy,
+    max_wait_s: float,
+) -> list[FormedBatch]:
+    """Form serving batches from an arrival-ordered request stream."""
+    if not max_wait_s > 0.0:
+        raise ConfigurationError(
+            f"max_wait_s must be positive, got {max_wait_s}"
+        )
+    arrival_s = np.asarray(arrival_s, dtype=np.float64)
+    seq_len = np.asarray(seq_len, dtype=np.int64)
+    tgt_len = np.asarray(tgt_len, dtype=np.int64)
+    if not (arrival_s.size == seq_len.size == tgt_len.size):
+        raise ConfigurationError(
+            f"arrival/seq/tgt columns disagree on length: "
+            f"{arrival_s.size}/{seq_len.size}/{tgt_len.size}"
+        )
+    if arrival_s.size and np.any(np.diff(arrival_s) < 0):
+        raise ConfigurationError("arrival times must be non-decreasing")
+    bucketed, capacity = _policy_queue(policy)
+    batch_size = policy.batch_size
+    batches: list[FormedBatch] = []
+    waiting: list[int] = []  # request indices, arrival order
+
+    def flush(now: float) -> None:
+        """Close everything waiting into consecutive batches at ``now``."""
+        pool = np.asarray(waiting, dtype=np.int64)
+        if bucketed:
+            pool = pool[np.argsort(seq_len[pool], kind="stable")]
+        for lo in range(0, pool.size, batch_size):
+            members = pool[lo:lo + batch_size]
+            tgt_max = int(tgt_len[members].max())
+            batches.append(
+                FormedBatch(
+                    form_time_s=now,
+                    members=members,
+                    seq_len=policy._pad(int(seq_len[members].max())),
+                    tgt_len=(
+                        NO_TGT if tgt_max == NO_TGT
+                        else policy._pad(tgt_max)
+                    ),
+                )
+            )
+        waiting.clear()
+
+    for index in range(arrival_s.size):
+        now = float(arrival_s[index])
+        if waiting and arrival_s[waiting[0]] + max_wait_s < now:
+            flush(float(arrival_s[waiting[0]]) + max_wait_s)
+        waiting.append(index)
+        if capacity is not None and len(waiting) >= capacity:
+            flush(now)
+    if waiting:
+        # Stream exhausted: the remainder goes out when the oldest
+        # waiting request's deadline expires (never before it arrived —
+        # the arrival loop guarantees every member predates this).
+        flush(float(arrival_s[waiting[0]]) + max_wait_s)
+    return batches
+
+
+class DynamicBatcher:
+    """A policy plus a wait bound, reusable across request streams."""
+
+    def __init__(self, policy: BatchingPolicy, max_wait_s: float = 0.5):
+        if not max_wait_s > 0.0:
+            raise ConfigurationError(
+                f"max_wait_s must be positive, got {max_wait_s}"
+            )
+        self.policy = policy
+        self.max_wait_s = max_wait_s
+
+    def form(
+        self,
+        arrival_s: np.ndarray,
+        seq_len: np.ndarray,
+        tgt_len: np.ndarray,
+    ) -> list[FormedBatch]:
+        return form_batches(
+            arrival_s, seq_len, tgt_len, self.policy, self.max_wait_s
+        )

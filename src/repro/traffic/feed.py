@@ -1,0 +1,46 @@
+"""Feed adapter: serving traffic as a live identification stream.
+
+:class:`TrafficFeed` presents a :class:`~repro.traffic.simulator.ServedTraffic`
+to the streaming subsystem as :class:`~repro.stream.feed.FrameSlice`
+chunks.  Chunking follows the batcher, not an arbitrary replay
+granularity: batches closed at the same formation instant (one
+max-wait flush, one pool dispatch) arrive at the identifier together,
+exactly as a live serving loop would report them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.stream.feed import FrameSlice
+from repro.traffic.simulator import ServedTraffic
+
+__all__ = ["TrafficFeed"]
+
+
+class TrafficFeed:
+    """Iterate a served run as formation-instant chunks of its frame."""
+
+    def __init__(self, served: ServedTraffic):
+        self.frame = served.frame
+        self._form_times = np.asarray(
+            [batch.form_time_s for batch in served.batches], dtype=np.float64
+        )
+
+    def __len__(self) -> int:
+        return len(self.frame)
+
+    def __iter__(self) -> Iterator[FrameSlice]:
+        total = len(self.frame)
+        start = 0
+        while start < total:
+            stop = start + 1
+            while (
+                stop < total
+                and self._form_times[stop] == self._form_times[start]
+            ):
+                stop += 1
+            yield FrameSlice(frame=self.frame, start=start, stop=stop)
+            start = stop

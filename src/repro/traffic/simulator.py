@@ -1,0 +1,176 @@
+"""The serving loop: formed batches through the batched device pipeline.
+
+Each :class:`~repro.traffic.batcher.FormedBatch` is timed with one
+forward pass through the PR 4 batched lowering→timing pipeline
+(:class:`~repro.train.iteration.IterationExecutor`, i.e. the
+process-wide ``PlanCache`` plus one vectorized
+:meth:`~repro.hw.device.GpuDevice.run_batch` call per unique shape),
+then queued on a single-device FIFO: a batch starts at
+``max(form_time, device_free)`` and occupies the device for its
+measured forward latency.  The result is
+
+* a standard :class:`~repro.train.frame.TraceFrame` (one row per
+  batch, profile pool deduplicated per unique shape, ``epoch`` column
+  carrying the traffic phase) — so every SeqPoint selector, projection,
+  and streaming identifier consumes serving traffic unchanged, and
+* per-request queue-wait and end-to-end latency columns, summarised as
+  SLO-style p50/p95/p99 through the
+  :class:`~repro.serve.metrics.LatencyHistogram` machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.data.batching import BatchingPolicy
+from repro.hw.device import GpuDevice
+from repro.models.spec import IterationInputs, Model
+from repro.traffic.batcher import FormedBatch
+from repro.traffic.workload import RequestSet
+from repro.train.frame import NO_TGT, IterationProfile, TraceFrame
+from repro.train.inference import DEFAULT_SERVING_OVERHEAD_S
+from repro.train.iteration import IterationExecutor
+
+__all__ = ["ServedTraffic", "TrafficSimulator", "latency_snapshot"]
+
+
+def latency_snapshot(seconds: np.ndarray) -> dict[str, Any]:
+    """p50/p95/p99 summary of a latency column, in milliseconds."""
+    # Imported lazily: ``repro.serve`` pulls in the HTTP daemon (and,
+    # through it, the top-level package), which must not load just
+    # because a traffic simulation wants a histogram.
+    from repro.serve.metrics import LatencyHistogram
+
+    histogram = LatencyHistogram()
+    for value in seconds.tolist():
+        histogram.observe(value)
+    return histogram.snapshot()
+
+
+@dataclass(frozen=True)
+class ServedTraffic:
+    """One simulated serving run, columnar throughout.
+
+    ``frame`` has one row per formed batch (its ``time_s`` is device
+    time, so ``frame.total_time_s`` is total serving compute); the
+    per-request columns hold the queueing story — ``latency_s`` is
+    completion minus arrival, ``queue_wait_s`` is device-start minus
+    arrival.  ``makespan_s`` is when the last batch finished.
+    """
+
+    frame: TraceFrame
+    batches: tuple[FormedBatch, ...]
+    arrival_s: np.ndarray
+    queue_wait_s: np.ndarray
+    latency_s: np.ndarray
+    makespan_s: float
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.size)
+
+    def latency_percentiles(self) -> dict[str, Any]:
+        return latency_snapshot(self.latency_s)
+
+    def queue_wait_percentiles(self) -> dict[str, Any]:
+        return latency_snapshot(self.queue_wait_s)
+
+
+class TrafficSimulator:
+    """Times formed batches of one model on one device."""
+
+    def __init__(
+        self,
+        model: Model,
+        dataset_name: str,
+        policy: BatchingPolicy,
+        device: GpuDevice,
+        host_overhead_s: float = DEFAULT_SERVING_OVERHEAD_S,
+        batched: bool = True,
+    ):
+        self.model = model
+        self.dataset_name = dataset_name
+        self.policy = policy
+        self.device = device
+        self.executor = IterationExecutor(
+            model, device, host_overhead_s, batched=batched
+        )
+
+    def measure_seq_len(self, seq_len: int, tgt_len: int | None = None) -> float:
+        """Forward latency of one full batch at ``seq_len``."""
+        inputs = IterationInputs(
+            batch=self.policy.batch_size, seq_len=seq_len, tgt_len=tgt_len
+        )
+        return self.executor.run_forward(inputs).time_s
+
+    def serve(
+        self,
+        requests: RequestSet,
+        arrival_s: np.ndarray,
+        batches: list[FormedBatch],
+    ) -> ServedTraffic:
+        """Run formed batches through the device FIFO."""
+        count = len(batches)
+        index = np.arange(count, dtype=np.int64)
+        epoch = np.empty(count, dtype=np.int64)
+        seq_len = np.empty(count, dtype=np.int64)
+        tgt_len = np.empty(count, dtype=np.int64)
+        time_s = np.empty(count, dtype=np.float64)
+        profile_id = np.empty(count, dtype=np.int64)
+        pool: dict[tuple, int] = {}
+        profiles: list[IterationProfile] = []
+        queue_wait = np.zeros(len(requests), dtype=np.float64)
+        latency = np.zeros(len(requests), dtype=np.float64)
+        device_free = 0.0
+        for i, batch in enumerate(batches):
+            inputs = IterationInputs(
+                batch=len(batch),
+                seq_len=batch.seq_len,
+                tgt_len=None if batch.tgt_len == NO_TGT else batch.tgt_len,
+            )
+            result = self.executor.run_forward(inputs)
+            start = max(batch.form_time_s, device_free)
+            device_free = start + result.time_s
+            queue_wait[batch.members] = start - arrival_s[batch.members]
+            latency[batch.members] = device_free - arrival_s[batch.members]
+            # The batch's phase: its earliest-arriving member's, so the
+            # epoch column tracks the mixture schedule.
+            epoch[i] = int(requests.phase[batch.members].min())
+            seq_len[i] = batch.seq_len
+            tgt_len[i] = batch.tgt_len
+            time_s[i] = result.time_s
+            profile = IterationProfile(
+                launches=result.launches,
+                counters=result.counters,
+                group_times=dict(result.group_times),
+                kernel_names=result.kernel_names,
+            )
+            key = profile.dedup_key()
+            pid = pool.get(key)
+            if pid is None:
+                pid = pool[key] = len(profiles)
+                profiles.append(profile)
+            profile_id[i] = pid
+        frame = TraceFrame(
+            model_name=f"{self.model.name}-serving",
+            dataset_name=self.dataset_name,
+            config_name=self.device.config.name,
+            batch_size=self.policy.batch_size,
+            index=index,
+            epoch=epoch,
+            seq_len=seq_len,
+            tgt_len=tgt_len,
+            time_s=time_s,
+            profile_id=profile_id,
+            profiles=tuple(profiles),
+        )
+        return ServedTraffic(
+            frame=frame,
+            batches=tuple(batches),
+            arrival_s=np.asarray(arrival_s, dtype=np.float64),
+            queue_wait_s=queue_wait,
+            latency_s=latency,
+            makespan_s=device_free,
+        )

@@ -164,3 +164,62 @@ class TestProjectionSpec:
     def test_unknown_field_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown ProjectionSpec"):
             ProjectionSpec.from_dict({"configs": [1]})
+
+
+def _spec_family():
+    from repro.api.parallel import SweepSpec
+    from repro.stream.spec import StreamSpec
+    from repro.traffic.spec import TrafficSpec
+
+    analysis = AnalysisSpec(network="gnmt", scale=0.05, seed=3)
+    return [
+        analysis,
+        ProjectionSpec(targets=(2, 4)),
+        SweepSpec(networks=("gnmt", "ds2"), scales=(0.05,), seeds=(0, 1)),
+        StreamSpec(analysis=analysis, cadence=8),
+        TrafficSpec(analysis=analysis, requests=32, arrival="deterministic"),
+    ]
+
+
+class TestSpecEnvelope:
+    """Every member of the spec family shares the SpecBase contract."""
+
+    def test_all_derive_from_spec_base(self):
+        from repro.api.spec import SpecBase
+
+        for spec in _spec_family():
+            assert isinstance(spec, SpecBase)
+            assert spec.SPEC_VERSION == 1
+
+    def test_json_envelope_round_trips_bit_identically(self):
+        for spec in _spec_family():
+            text = spec.to_json()
+            payload = json.loads(text)
+            assert payload["v"] == spec.SPEC_VERSION
+            restored = type(spec).from_json(text)
+            assert restored == spec
+            assert restored.to_json() == text
+
+    def test_to_dict_stays_envelope_free(self):
+        # Historical saved specs carry no "v"; both wire forms load.
+        for spec in _spec_family():
+            payload = spec.to_dict()
+            assert "v" not in payload
+            assert type(spec).from_dict(
+                json.loads(json.dumps(payload))
+            ) == spec
+
+    def test_wrong_version_rejected(self):
+        for spec in _spec_family():
+            payload = dict(spec.to_dict(), v=99)
+            with pytest.raises(ConfigurationError, match="version 99"):
+                type(spec).from_dict(payload)
+
+    def test_non_mapping_payload_rejected(self):
+        for spec in _spec_family():
+            with pytest.raises(ConfigurationError, match="must be a mapping"):
+                type(spec).from_dict([("network", "gnmt")])
+
+    def test_from_json_rejects_non_object_documents(self):
+        with pytest.raises(ConfigurationError, match="must be a mapping"):
+            AnalysisSpec.from_json("[1, 2]")

@@ -104,13 +104,19 @@ class TestAnalyze:
         assert payload["spec"]["selector_kwargs"] == {"k": 3}
         assert len(payload["points"]) <= 3
 
-    def test_spec_and_inline_conflict(self, tmp_path, capsys):
+    def test_inline_flags_override_spec_file(self, tmp_path, capsys):
         spec_file = tmp_path / "spec.json"
-        spec_file.write_text('{"network": "gnmt"}', encoding="utf-8")
+        spec_file.write_text(
+            '{"network": "gnmt", "scale": 0.01, "batch_size": 64}',
+            encoding="utf-8",
+        )
         assert main(
-            ["analyze", "--spec", str(spec_file), "--network", "gnmt"]
-        ) == 2
-        assert "mutually exclusive" in capsys.readouterr().err
+            ["analyze", "--spec", str(spec_file), "--batch-size", "32",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["batch_size"] == 32  # inline wins
+        assert payload["spec"]["scale"] == 0.01  # file fields survive
 
     def test_missing_network(self, capsys):
         assert main(["analyze"]) == 2
@@ -203,13 +209,20 @@ class TestSweep:
         payload = json.loads(capsys.readouterr().out)
         assert payload["sweep"]["seeds"] == [0, 1]
 
-    def test_spec_and_inline_conflict(self, tmp_path, capsys):
+    def test_inline_flags_override_spec_file(self, tmp_path, capsys):
         spec_file = tmp_path / "sweep.json"
-        spec_file.write_text('{"networks": ["gnmt"]}', encoding="utf-8")
+        spec_file.write_text(
+            json.dumps({"networks": ["gnmt"], "scales": [0.5],
+                        "seeds": [0, 1]}),
+            encoding="utf-8",
+        )
         assert main(
-            ["sweep", "--spec", str(spec_file), "--networks", "gnmt"]
-        ) == 2
-        assert "mutually exclusive" in capsys.readouterr().err
+            ["sweep", "--spec", str(spec_file), "--scales", "0.01",
+             "--mode", "serial", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"]["scales"] == [0.01]  # inline wins
+        assert payload["sweep"]["seeds"] == [0, 1]  # file fields survive
 
     def test_missing_networks(self, capsys):
         assert main(["sweep"]) == 2
@@ -267,14 +280,19 @@ class TestStream:
         inline = json.loads(capsys.readouterr().out)
         assert from_file == inline
 
-    def test_spec_and_inline_conflict(self, tmp_path, capsys):
+    def test_inline_flags_override_spec_file(self, tmp_path, capsys):
         spec_file = tmp_path / "stream.json"
         spec_file.write_text(
-            '{"analysis": {"network": "gnmt"}}', encoding="utf-8"
+            json.dumps({"analysis": {"network": "gnmt", "scale": 0.01},
+                        "cadence": 64, "patience": 2}),
+            encoding="utf-8",
         )
-        assert main(["stream", "--spec", str(spec_file),
-                     "--cadence", "8"]) == 2
-        assert "mutually exclusive" in capsys.readouterr().err
+        assert main(["stream", "--spec", str(spec_file), "--cadence", "8",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["cadence"] == 8  # inline wins
+        assert payload["spec"]["patience"] == 2  # file knobs survive
+        assert payload["spec"]["analysis"]["scale"] == 0.01
 
     def test_missing_network(self, capsys):
         assert main(["stream"]) == 2
@@ -288,6 +306,79 @@ class TestStream:
         assert list(tmp_path.glob("*.npt"))
         assert main(args) == 0
         assert json.loads(capsys.readouterr().out) == first
+
+
+class TestTraffic:
+    _FAST = ["--network", "gnmt", "--scale", "0.02", "--requests", "64",
+             "--rate", "64", "--cadence", "4", "--patience", "2",
+             "--rtol", "0.05"]
+
+    def test_json_output_matches_library(self, capsys):
+        from repro.api import default_engine
+        from repro.traffic import TrafficSpec
+
+        assert main(["traffic", *self._FAST, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["arrival"] == "poisson"
+        assert payload["requests"] == 64
+        assert payload["latency"]["count"] == 64
+
+        expected = default_engine().run_traffic(
+            TrafficSpec.from_dict(payload["spec"])
+        )
+        assert payload == json.loads(json.dumps(expected.to_dict()))
+
+    def test_table_output(self, capsys):
+        assert main(["traffic", *self._FAST]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "request latency (SLO view)" in out
+        assert "p95" in out
+        assert "streaming" in out
+
+    def test_inline_flags_override_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "traffic.json"
+        spec_file.write_text(
+            json.dumps({
+                "analysis": {"network": "gnmt", "scale": 0.02},
+                "requests": 512, "arrival": "deterministic",
+                "cadence": 4, "patience": 2, "rtol": 0.05,
+            }),
+            encoding="utf-8",
+        )
+        assert main(["traffic", "--spec", str(spec_file),
+                     "--requests", "64", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["requests"] == 64  # inline wins
+        assert payload["spec"]["arrival"] == "deterministic"  # file survives
+        assert payload["spec"]["analysis"]["scale"] == 0.02
+
+    def test_offline_arrival_with_projections(self, capsys):
+        assert main(
+            ["traffic", *self._FAST, "--arrival", "offline",
+             "--targets", "1,3", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["config"] for p in payload["projections"]] == [1, 3]
+
+    def test_missing_network(self, capsys):
+        assert main(["traffic"]) == 2
+        assert "--network" in capsys.readouterr().err
+
+    def test_bad_phases_json_exits_2(self, capsys):
+        assert main(["traffic", *self._FAST, "--phases", "{nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "--phases" in err
+
+    def test_bad_mix_exits_2(self, capsys):
+        assert main(
+            ["traffic", *self._FAST,
+             "--phases", '[{"fraction": 0.0}]']
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "fraction" in err
 
 
 class TestCleanErrors:
@@ -514,3 +605,32 @@ class TestServe:
         err = capsys.readouterr().err
         assert err.count("\n") == 1
         assert "cannot bind" in err
+
+    def test_spec_file_supplies_options(self, tmp_path, capsys):
+        spec_file = tmp_path / "serve.json"
+        spec_file.write_text(
+            json.dumps({"workers": 1, "sweep_mode": "serial"}),
+            encoding="utf-8",
+        )
+        assert main(["serve", "--check", "--spec", str(spec_file)]) == 0
+        assert "serve check ok" in capsys.readouterr().out
+
+    def test_spec_unknown_field_exits_2(self, tmp_path, capsys):
+        spec_file = tmp_path / "serve.json"
+        spec_file.write_text(json.dumps({"bogus": 1}), encoding="utf-8")
+        assert main(["serve", "--check", "--spec", str(spec_file)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "bogus" in err
+
+    def test_inline_flags_override_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "serve.json"
+        spec_file.write_text(
+            json.dumps({"workers": 0, "sweep_mode": "serial"}),
+            encoding="utf-8",
+        )
+        # The file's bad worker count is overridden inline, so it binds.
+        assert main(
+            ["serve", "--check", "--spec", str(spec_file), "--workers", "1"]
+        ) == 0
+        assert "serve check ok" in capsys.readouterr().out

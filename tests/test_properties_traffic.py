@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) on the traffic layer.
+
+Two invariants the ISSUE pins down:
+
+* a seeded arrival process plus a batching policy is bit-deterministic
+  end to end (arrivals, batch composition, padded shapes), and
+* streaming identification over a traffic feed equals batch
+  identification whenever the request mix is stationary.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.api.registry import BATCHING
+from repro.core.seqpoint import SeqPointSelector
+from repro.stream import StreamingIdentifier, StreamingSlStatistics
+from repro.traffic import ARRIVAL_KINDS, TrafficFeed, build_arrival_process, form_batches
+from repro.traffic.batcher import FormedBatch
+from repro.traffic.simulator import ServedTraffic
+from repro.train.frame import NO_TGT
+from tests.conftest import make_trace
+
+# ---- strategy helpers -------------------------------------------------
+
+lengths_lists = st.lists(
+    st.integers(min_value=1, max_value=300), min_size=1, max_size=60
+)
+
+
+@st.composite
+def traffic_case(draw):
+    lengths = draw(lengths_lists)
+    kind = draw(st.sampled_from(ARRIVAL_KINDS))
+    rate = draw(st.floats(min_value=1.0, max_value=200.0, allow_nan=False))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    policy_name = draw(st.sampled_from(BATCHING.available()))
+    batch_size = draw(st.integers(min_value=1, max_value=16))
+    max_wait_s = draw(
+        st.floats(min_value=0.01, max_value=2.0, allow_nan=False)
+    )
+    return lengths, kind, rate, seed, policy_name, batch_size, max_wait_s
+
+
+def _form(case):
+    lengths, kind, rate, seed, policy_name, batch_size, max_wait_s = case
+    seq_len = np.asarray(lengths, dtype=np.int64)
+    tgt_len = np.full(seq_len.size, NO_TGT, dtype=np.int64)
+    arrival_s = build_arrival_process(kind, rate=rate).times(
+        seq_len.size, seed
+    )
+    policy = BATCHING.create(policy_name, batch_size)
+    return arrival_s, form_batches(
+        arrival_s, seq_len, tgt_len, policy, max_wait_s
+    )
+
+
+@given(traffic_case())
+@settings(max_examples=40, deadline=None)
+def test_seeded_traffic_is_bit_deterministic(case):
+    arrival_a, batches_a = _form(case)
+    arrival_b, batches_b = _form(case)
+    assert np.array_equal(arrival_a, arrival_b)
+    assert len(batches_a) == len(batches_b)
+    for one, two in zip(batches_a, batches_b):
+        assert one.form_time_s == two.form_time_s
+        assert np.array_equal(one.members, two.members)
+        assert (one.seq_len, one.tgt_len) == (two.seq_len, two.tgt_len)
+
+
+@given(traffic_case())
+@settings(max_examples=40, deadline=None)
+def test_batches_partition_the_request_stream(case):
+    lengths, _, _, _, _, batch_size, _ = case
+    _, batches = _form(case)
+    members = np.concatenate([batch.members for batch in batches])
+    assert sorted(members.tolist()) == list(range(len(lengths)))
+    assert all(len(batch) <= batch_size for batch in batches)
+    assert all(
+        batch.seq_len >= 1 and batch.tgt_len == NO_TGT for batch in batches
+    )
+
+
+# ---- streaming over traffic == batch identification -------------------
+
+
+@st.composite
+def stationary_served(draw):
+    """A synthetic served run whose per-SL batch times never drift."""
+    seq_lens = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=120), min_size=2, max_size=40
+        )
+    )
+    time_of = {
+        sl: 1e-3 * (1.0 + (sl % 7)) + sl * 1e-4 for sl in set(seq_lens)
+    }
+    frame = make_trace([(sl, time_of[sl]) for sl in seq_lens]).frame()
+    # Formation instants: non-decreasing with occasional shared flushes.
+    gaps = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.1]),
+            min_size=len(seq_lens),
+            max_size=len(seq_lens),
+        )
+    )
+    form_times = np.cumsum(gaps)
+    batches = tuple(
+        FormedBatch(
+            form_time_s=float(form_times[i]),
+            members=np.asarray([i], dtype=np.int64),
+            seq_len=int(frame.seq_len[i]),
+            tgt_len=int(frame.tgt_len[i]),
+        )
+        for i in range(len(seq_lens))
+    )
+    zeros = np.zeros(len(seq_lens), dtype=np.float64)
+    return ServedTraffic(
+        frame=frame,
+        batches=batches,
+        arrival_s=zeros,
+        queue_wait_s=zeros,
+        latency_s=zeros,
+        makespan_s=float(form_times[-1]),
+    )
+
+
+@given(stationary_served())
+@settings(max_examples=40, deadline=None)
+def test_streaming_on_stationary_traffic_equals_batch(served):
+    # patience too large to ever converge: the identifier consumes the
+    # whole feed, so its final selection is over exactly the data the
+    # batch selector sees.
+    run = StreamingIdentifier(
+        SeqPointSelector(), cadence=1, patience=10**9
+    ).run(
+        TrafficFeed(served),
+        stats=StreamingSlStatistics.for_frame(served.frame),
+    )
+    assert run.iterations_consumed == len(served.frame)
+    batch = SeqPointSelector().select(served.frame.to_trace())
+    streamed = [
+        (point.seq_len, point.tgt_len, point.weight, point.record.time_s)
+        for point in run.selection.points
+    ]
+    batched = [
+        (point.seq_len, point.tgt_len, point.weight, point.record.time_s)
+        for point in batch.selection.points
+    ]
+    assert streamed == batched
+    assert run.identification_error_pct == batch.identification_error_pct

@@ -19,10 +19,14 @@ from repro.serve.protocol import (
     parse_stream_open,
 )
 from repro.stream.spec import StreamSpec
+from repro.traffic.spec import TrafficSpec
 
 ANALYSIS = AnalysisSpec(network="gnmt", scale=0.02).to_dict()
 SWEEP = SweepSpec(networks=("gnmt",), scales=(0.02,)).to_dict()
 STREAM = StreamSpec(analysis=AnalysisSpec(network="gnmt", scale=0.02)).to_dict()
+TRAFFIC = TrafficSpec(
+    analysis=AnalysisSpec(network="gnmt", scale=0.02), requests=64
+).to_dict()
 
 
 class TestEnvelopes:
@@ -118,6 +122,31 @@ class TestParseJobSubmission:
     def test_missing_spec_rejected(self):
         with pytest.raises(ProtocolError, match="spec must be a JSON object"):
             parse_job_submission({"kind": "analyze"})
+
+    def test_traffic_job_parses_its_spec(self):
+        request = parse_job_submission({"kind": "traffic", "spec": TRAFFIC})
+        assert request.kind == "traffic"
+        assert request.spec == TrafficSpec.from_dict(TRAFFIC)
+        assert request.describe() == "traffic gnmt (64 requests)"
+
+    def test_traffic_kind_registered(self):
+        assert "traffic" in JOB_KINDS
+
+    def test_projection_rejected_for_traffic(self):
+        with pytest.raises(ProtocolError, match="projection only applies"):
+            parse_job_submission(
+                {
+                    "kind": "traffic",
+                    "spec": TRAFFIC,
+                    "projection": {"targets": [1]},
+                }
+            )
+
+    def test_sweep_options_rejected_for_traffic(self):
+        with pytest.raises(ProtocolError, match="only apply to sweep"):
+            parse_job_submission(
+                {"kind": "traffic", "spec": TRAFFIC, "workers": 2}
+            )
 
     def test_projection_rejected_for_sweeps(self):
         with pytest.raises(ProtocolError, match="projection only applies"):

@@ -1,0 +1,99 @@
+"""Arrival processes: determinism, pacing, burst structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    ARRIVAL_KINDS,
+    BurstyArrivals,
+    DeterministicArrivals,
+    OfflineArrivals,
+    PoissonArrivals,
+    build_arrival_process,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_same_seed_bit_identical(self, kind):
+        process = build_arrival_process(kind, rate=32.0)
+        first = process.times(500, seed=7)
+        second = process.times(500, seed=7)
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("kind", ("poisson", "bursty"))
+    def test_different_seeds_differ(self, kind):
+        process = build_arrival_process(kind, rate=32.0)
+        assert not np.array_equal(
+            process.times(500, seed=0), process.times(500, seed=1)
+        )
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_sorted_and_non_negative(self, kind):
+        times = build_arrival_process(kind, rate=32.0).times(500, seed=3)
+        assert times.shape == (500,)
+        assert times.dtype == np.float64
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(times >= 0)
+
+
+class TestShapes:
+    def test_offline_all_at_zero(self):
+        assert np.array_equal(
+            OfflineArrivals().times(16, seed=9), np.zeros(16)
+        )
+
+    def test_deterministic_exact_pacing(self):
+        times = DeterministicArrivals(rate=10.0).times(5, seed=0)
+        assert np.allclose(times, [0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_poisson_mean_rate(self):
+        times = PoissonArrivals(rate=50.0).times(20_000, seed=0)
+        observed = times.size / times[-1]
+        assert observed == pytest.approx(50.0, rel=0.05)
+
+    def test_bursty_long_run_mean_rate(self):
+        process = BurstyArrivals(
+            rate=50.0, burst_factor=3.0, on_fraction=0.25, period_s=1.0
+        )
+        times = process.times(20_000, seed=0)
+        observed = times.size / times[-1]
+        assert observed == pytest.approx(50.0, rel=0.05)
+
+    def test_bursty_on_phase_is_denser(self):
+        process = BurstyArrivals(
+            rate=50.0, burst_factor=3.0, on_fraction=0.25, period_s=1.0
+        )
+        times = process.times(20_000, seed=0)
+        in_burst = np.mod(times, 1.0) <= 0.25
+        # burst_factor 3 at on_fraction 0.25 puts 75% of events in the
+        # first quarter of each period.
+        assert in_burst.mean() == pytest.approx(0.75, abs=0.03)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kind", ("deterministic", "poisson", "bursty"))
+    def test_rate_must_be_positive(self, kind):
+        with pytest.raises(ConfigurationError, match="rate must be positive"):
+            build_arrival_process(kind, rate=0.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival"):
+            build_arrival_process("fractal")
+
+    def test_burst_factor_floor(self):
+        with pytest.raises(ConfigurationError, match="burst_factor"):
+            BurstyArrivals(rate=1.0, burst_factor=0.5)
+
+    def test_on_fraction_open_interval(self):
+        with pytest.raises(ConfigurationError, match="on_fraction"):
+            BurstyArrivals(rate=1.0, on_fraction=1.0)
+
+    def test_off_phase_rate_stays_positive(self):
+        with pytest.raises(ConfigurationError, match="off-phase"):
+            BurstyArrivals(rate=1.0, burst_factor=4.0, on_fraction=0.25)
+
+    def test_period_positive(self):
+        with pytest.raises(ConfigurationError, match="period_s"):
+            BurstyArrivals(rate=1.0, period_s=0.0)

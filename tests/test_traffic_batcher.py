@@ -1,0 +1,126 @@
+"""Dynamic batching: max-batch and max-wait triggers over policies."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import (
+    PooledBucketing,
+    ShuffledBatching,
+    SortedBatching,
+)
+from repro.errors import ConfigurationError
+from repro.traffic import DynamicBatcher, form_batches
+from repro.train.frame import NO_TGT
+
+
+def _stream(arrivals, lengths, targets=None):
+    arrival_s = np.asarray(arrivals, dtype=np.float64)
+    seq_len = np.asarray(lengths, dtype=np.int64)
+    if targets is None:
+        tgt_len = np.full(seq_len.size, NO_TGT, dtype=np.int64)
+    else:
+        tgt_len = np.asarray(targets, dtype=np.int64)
+    return arrival_s, seq_len, tgt_len
+
+
+class TestMaxBatchTrigger:
+    def test_shuffled_dispatches_full_batches_in_arrival_order(self):
+        arrival, seq, tgt = _stream(
+            [0.0, 0.1, 0.2, 0.3], [40, 10, 30, 20]
+        )
+        batches = form_batches(arrival, seq, tgt, ShuffledBatching(2), 10.0)
+        assert [b.members.tolist() for b in batches] == [[0, 1], [2, 3]]
+        # FIFO policies never reorder: padded maximum per batch.
+        assert [b.seq_len for b in batches] == [40, 30]
+        assert batches[0].form_time_s == 0.1  # closed on the 2nd arrival
+
+    def test_pooled_sorts_within_its_pool(self):
+        policy = PooledBucketing(2, pool_factor=2)
+        arrival, seq, tgt = _stream(
+            [0.0, 0.0, 0.0, 0.0], [40, 10, 30, 20]
+        )
+        batches = form_batches(arrival, seq, tgt, policy, 10.0)
+        assert [b.members.tolist() for b in batches] == [[1, 3], [2, 0]]
+        assert [b.seq_len for b in batches] == [20, 40]
+
+    def test_sorted_policy_only_flushes_on_the_deadline(self):
+        arrival, seq, tgt = _stream(
+            [0.0, 0.01, 0.02, 0.03], [4, 3, 2, 1]
+        )
+        batches = form_batches(arrival, seq, tgt, SortedBatching(2), 10.0)
+        # All four waited for one deadline flush, globally sorted.
+        assert [b.members.tolist() for b in batches] == [[3, 2], [1, 0]]
+        assert batches[0].form_time_s == pytest.approx(10.0)
+
+
+class TestMaxWaitTrigger:
+    def test_deadline_flush_happens_at_the_deadline(self):
+        arrival, seq, tgt = _stream([0.0, 5.0], [10, 20])
+        batches = form_batches(arrival, seq, tgt, ShuffledBatching(4), 0.5)
+        # Request 0's deadline (t=0.5) expired before request 1 arrived.
+        assert [b.members.tolist() for b in batches] == [[0], [1]]
+        assert batches[0].form_time_s == pytest.approx(0.5)
+        assert batches[1].form_time_s == pytest.approx(5.5)
+
+    def test_ragged_tail_is_kept(self):
+        arrival, seq, tgt = _stream([0.0, 0.0, 0.0], [10, 20, 30])
+        batches = form_batches(arrival, seq, tgt, ShuffledBatching(2), 0.5)
+        assert [len(b) for b in batches] == [2, 1]
+
+    def test_every_request_lands_in_exactly_one_batch(self):
+        rng = np.random.default_rng(0)
+        arrival = np.sort(rng.uniform(0, 3, size=100))
+        seq = rng.integers(1, 200, size=100)
+        batches = form_batches(
+            arrival, seq, np.full(100, NO_TGT), PooledBucketing(8), 0.25
+        )
+        members = np.concatenate([b.members for b in batches])
+        assert sorted(members.tolist()) == list(range(100))
+
+
+class TestPadding:
+    def test_pad_multiple_applies_to_both_sides(self):
+        policy = ShuffledBatching(2, pad_multiple=8)
+        arrival, seq, tgt = _stream([0.0, 0.0], [9, 3], [5, 11])
+        batches = form_batches(arrival, seq, tgt, policy, 0.5)
+        assert batches[0].seq_len == 16
+        assert batches[0].tgt_len == 16
+
+    def test_no_target_stays_no_target(self):
+        arrival, seq, tgt = _stream([0.0], [9])
+        batches = form_batches(
+            arrival, seq, tgt, ShuffledBatching(2, pad_multiple=8), 0.5
+        )
+        assert batches[0].tgt_len == NO_TGT
+
+
+class TestValidation:
+    def test_max_wait_must_be_positive(self):
+        arrival, seq, tgt = _stream([0.0], [1])
+        with pytest.raises(ConfigurationError, match="max_wait_s"):
+            form_batches(arrival, seq, tgt, ShuffledBatching(2), 0.0)
+        with pytest.raises(ConfigurationError, match="max_wait_s"):
+            DynamicBatcher(ShuffledBatching(2), max_wait_s=-1.0)
+
+    def test_arrivals_must_be_sorted(self):
+        arrival, seq, tgt = _stream([1.0, 0.5], [1, 2])
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            form_batches(arrival, seq, tgt, ShuffledBatching(2), 0.5)
+
+    def test_column_lengths_must_agree(self):
+        with pytest.raises(ConfigurationError, match="disagree"):
+            form_batches(
+                np.zeros(2), np.ones(3, dtype=np.int64),
+                np.full(2, NO_TGT), ShuffledBatching(2), 0.5
+            )
+
+
+class TestDynamicBatcher:
+    def test_batcher_matches_free_function(self):
+        arrival, seq, tgt = _stream([0.0, 0.1, 0.2], [5, 15, 10])
+        batcher = DynamicBatcher(PooledBucketing(2), max_wait_s=0.5)
+        direct = form_batches(arrival, seq, tgt, batcher.policy, 0.5)
+        via_batcher = batcher.form(arrival, seq, tgt)
+        assert [b.members.tolist() for b in direct] == [
+            b.members.tolist() for b in via_batcher
+        ]

@@ -1,0 +1,188 @@
+"""AnalysisEngine.run_traffic: the serving loop end to end."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.engine import AnalysisEngine, TrafficAnalysisResult, default_engine
+from repro.api.spec import AnalysisSpec
+from repro.errors import ConfigurationError
+from repro.traffic import TrafficSpec
+
+_LATENCY_KEYS = {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"}
+
+
+def traffic_spec(**overrides):
+    payload = {
+        "analysis": {
+            "network": "gnmt", "scale": 0.03, "batch_size": 16,
+        },
+        "requests": 192,
+        "rate": 64.0,
+        "cadence": 4,
+        "patience": 2,
+        "rtol": 0.05,
+    }
+    payload.update(overrides)
+    return TrafficSpec.from_dict(payload)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalysisEngine()
+
+
+@pytest.fixture(scope="module")
+def stationary(engine):
+    return engine.run_traffic(traffic_spec())
+
+
+class TestTimedServing:
+    def test_result_shape(self, stationary):
+        assert isinstance(stationary, TrafficAnalysisResult)
+        assert stationary.requests == 192
+        assert stationary.batches >= 1
+        assert len(stationary.points) >= 1
+        assert stationary.identification_error_pct >= 0.0
+        assert stationary.makespan_s >= stationary.actual_total_s > 0.0
+
+    def test_latency_snapshots(self, stationary):
+        for snapshot in (stationary.latency, stationary.queue_wait):
+            assert set(snapshot) == _LATENCY_KEYS
+            assert snapshot["count"] == 192
+        # End-to-end latency includes device time, so it dominates wait.
+        assert stationary.latency["mean_ms"] > stationary.queue_wait["mean_ms"]
+
+    def test_streaming_watches_the_live_stream(self, stationary):
+        assert stationary.iterations_consumed <= stationary.batches
+        assert stationary.streaming_projection_error_pct >= 0.0
+        assert stationary.drift_resets == 0  # stationary mix: no resets
+
+    def test_deterministic(self, engine, stationary):
+        again = engine.run_traffic(traffic_spec())
+        assert again.to_dict() == stationary.to_dict()
+
+    def test_to_dict_json_serialisable(self, stationary):
+        payload = json.loads(json.dumps(stationary.to_dict()))
+        assert payload["spec"]["analysis"]["network"] == "gnmt"
+        assert payload["requests"] == 192
+
+    def test_spec_type_checked(self, engine):
+        with pytest.raises(ConfigurationError, match="TrafficSpec"):
+            engine.run_traffic(AnalysisSpec(network="gnmt", scale=0.02))
+
+
+class TestDriftingMix:
+    def test_disjoint_phases_fire_the_drift_guard(self, engine):
+        result = engine.run_traffic(
+            traffic_spec(
+                requests=384,
+                arrival="bursty",
+                phases=[
+                    {"fraction": 0.5, "quantile_hi": 0.55},
+                    {"fraction": 0.5, "quantile_lo": 0.45},
+                ],
+                drift_rtol=0.01,
+            )
+        )
+        assert result.drift_resets >= 1
+        assert any(check.drift_reset for check in result.checks)
+
+
+class TestProjections:
+    def test_offline_projection_onto_other_configs(self, engine):
+        result = engine.run_traffic(
+            traffic_spec(
+                arrival="offline", requests=128, targets=[1, 3],
+                pad_multiple=1,
+            )
+        )
+        by_config = {p.config: p for p in result.projections}
+        assert set(by_config) == {1, 3}
+        # Projecting onto the identification config itself is exact.
+        assert by_config[1].error_pct == pytest.approx(0.0, abs=1e-9)
+        assert by_config[3].actual_serving_s > 0.0
+        assert by_config[3].error_pct < 5.0
+
+
+class TestOfflineEquivalence:
+    def test_inference_outcome_bit_identical_to_inline_path(self):
+        """experiments/inference.py rerouted without changing a digit."""
+        from repro.core.projection import project_total
+        from repro.core.seqpoint import SeqPointSelector
+        from repro.data.batching import PooledBucketing
+        from repro.experiments.inference import inference_outcome
+        from repro.experiments.setups import scenario
+        from repro.hw.config import paper_config
+        from repro.hw.device import GpuDevice
+        from repro.train.inference import InferenceRunSimulator
+
+        scale = 0.05
+        for network in ("gnmt", "ds2"):
+            setup = scenario(network, scale)
+
+            def simulator(config_index):
+                return InferenceRunSimulator(
+                    setup.model,
+                    setup.eval_data,
+                    PooledBucketing(8),
+                    GpuDevice(paper_config(config_index)),
+                )
+
+            base = simulator(1)
+            trace = base.run_pass()
+            selected = SeqPointSelector().select(trace)
+            other = simulator(3)
+            actual = other.run_pass().total_time_s
+            projected = project_total(
+                selected.selection,
+                lambda point: other.measure_seq_len(
+                    point.seq_len, point.tgt_len
+                ),
+            )
+            legacy = {
+                "requests": float(len(trace)),
+                "seqpoints": float(len(selected.selection)),
+                "ident_error_pct": selected.identification_error_pct,
+                "config3_error_pct": abs(projected - actual) / actual * 100.0,
+            }
+            assert inference_outcome(network, scale) == legacy
+
+
+class TestTrafficFeed:
+    def test_chunks_group_by_formation_instant(self, engine):
+        from repro.api.registry import BATCHING
+        from repro.hw.config import paper_config
+        from repro.hw.device import GpuDevice
+        from repro.traffic import TrafficFeed, TrafficSimulator, form_batches
+        from repro.traffic import sample_requests
+
+        spec = traffic_spec()
+        resolved = engine.resolve(spec.analysis)
+        requests = sample_requests(
+            resolved.train_data, spec.phases, spec.requests,
+            spec.analysis.seed,
+        )
+        arrival_s = spec.build_arrivals().times(
+            len(requests), spec.analysis.seed
+        )
+        batches = form_batches(
+            arrival_s, requests.seq_len, requests.tgt_len,
+            resolved.batching, spec.max_wait_s,
+        )
+        simulator = TrafficSimulator(
+            resolved.model, spec.analysis.dataset, resolved.batching,
+            GpuDevice(paper_config(spec.analysis.config)),
+        )
+        served = simulator.serve(requests, arrival_s, batches)
+        feed = TrafficFeed(served)
+        slices = list(feed)
+        assert sum(s.stop - s.start for s in slices) == len(served.frame)
+        form_times = np.asarray([b.form_time_s for b in batches])
+        for chunk in slices:
+            window = form_times[chunk.start:chunk.stop]
+            assert np.all(window == window[0])
+        boundaries = [chunk.start for chunk in slices][1:]
+        for boundary in boundaries:
+            assert form_times[boundary - 1] != form_times[boundary]

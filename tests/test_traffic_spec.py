@@ -1,0 +1,148 @@
+"""TrafficSpec: validation, JSON round-trip, builders."""
+
+import json
+
+import pytest
+
+from repro.api.spec import AnalysisSpec, ProjectionSpec
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    BurstyArrivals,
+    OfflineArrivals,
+    TrafficPhase,
+    TrafficSpec,
+)
+from repro.traffic.spec import TrafficSpec as SpecFromModule
+
+
+def tiny(**overrides):
+    payload = {"analysis": {"network": "gnmt", "scale": 0.02}}
+    payload.update(overrides)
+    return TrafficSpec.from_dict(payload)
+
+
+class TestConstruction:
+    def test_module_and_package_export_agree(self):
+        assert SpecFromModule is TrafficSpec
+
+    def test_analysis_coerced_from_mapping(self):
+        spec = tiny()
+        assert isinstance(spec.analysis, AnalysisSpec)
+        assert spec.analysis.network == "gnmt"
+
+    def test_defaults(self):
+        spec = tiny()
+        assert spec.arrival == "poisson"
+        assert spec.requests == 1024
+        assert spec.phases == (TrafficPhase(1.0),)
+        assert spec.targets is None
+
+    def test_analysis_required(self):
+        with pytest.raises(ConfigurationError, match="'analysis'"):
+            TrafficSpec.from_dict({"arrival": "poisson"})
+
+    def test_analysis_must_be_spec_shaped(self):
+        with pytest.raises(ConfigurationError, match="analysis must be"):
+            TrafficSpec(analysis="gnmt")
+
+    def test_unknown_arrival(self):
+        with pytest.raises(ConfigurationError, match="unknown arrival"):
+            tiny(arrival="fractal")
+
+    def test_requests_validated(self):
+        with pytest.raises(ConfigurationError, match="requests must be"):
+            tiny(requests="many")
+        with pytest.raises(ConfigurationError, match="requests must be"):
+            tiny(requests=0)
+
+    def test_max_wait_validated(self):
+        with pytest.raises(ConfigurationError, match="max_wait_s"):
+            tiny(max_wait_s=0)
+
+    def test_phases_coerced_and_validated(self):
+        spec = tiny(phases=[{"fraction": 0.5}, {"fraction": 0.5}])
+        assert spec.phases == (TrafficPhase(0.5), TrafficPhase(0.5))
+        with pytest.raises(ConfigurationError, match="phases"):
+            tiny(phases="half")
+        with pytest.raises(ConfigurationError, match="phases"):
+            tiny(phases=[])
+
+    def test_pad_multiple_validated(self):
+        assert tiny(pad_multiple=4).pad_multiple == 4
+        with pytest.raises(ConfigurationError, match="pad_multiple"):
+            tiny(pad_multiple=0)
+        with pytest.raises(ConfigurationError, match="pad_multiple"):
+            tiny(pad_multiple=True)
+
+    def test_targets_validated_like_projection_spec(self):
+        assert tiny(targets=[1, 3]).targets == (1, 3)
+        with pytest.raises(ConfigurationError):
+            tiny(targets=[42])
+
+    def test_streaming_knobs_validated(self):
+        with pytest.raises(ConfigurationError, match="cadence"):
+            tiny(cadence=0)
+        with pytest.raises(ConfigurationError, match="patience"):
+            tiny(patience=0)
+        with pytest.raises(ConfigurationError, match="rtol"):
+            tiny(rtol=0.0)
+        with pytest.raises(ConfigurationError, match="drift_rtol"):
+            tiny(drift_rtol=0.0)
+        with pytest.raises(ConfigurationError, match="sl_rtol"):
+            tiny(sl_rtol=-0.1)
+        with pytest.raises(ConfigurationError, match="min_iterations"):
+            tiny(min_iterations=-1)
+
+    def test_bad_arrival_shape_fails_at_construction(self):
+        # build_arrivals() runs in __post_init__, so impossible burst
+        # shapes surface before any workload is sampled.
+        with pytest.raises(ConfigurationError, match="off-phase"):
+            tiny(arrival="bursty", burst_factor=8.0, on_fraction=0.25)
+
+    def test_unknown_fields_one_line(self):
+        with pytest.raises(ConfigurationError, match="unknown TrafficSpec"):
+            tiny(qps=3)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_bit_identity(self):
+        spec = tiny(
+            arrival="bursty",
+            rate=100.0,
+            requests=64,
+            phases=[{"fraction": 0.5, "quantile_hi": 0.6},
+                    {"fraction": 0.5, "quantile_lo": 0.4}],
+            targets=[3],
+            pad_multiple=2,
+        )
+        text = spec.to_json()
+        assert TrafficSpec.from_json(text) == spec
+        assert json.loads(text)["v"] == TrafficSpec.SPEC_VERSION
+        # The envelope-free wire form is stable too.
+        assert TrafficSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_wrong_version_rejected(self):
+        payload = tiny().to_dict()
+        payload["v"] = 99
+        with pytest.raises(ConfigurationError, match="version 99"):
+            TrafficSpec.from_dict(payload)
+
+
+class TestBuilders:
+    def test_build_arrivals_matches_kind(self):
+        assert isinstance(tiny(arrival="offline").build_arrivals(),
+                          OfflineArrivals)
+        assert isinstance(tiny(arrival="bursty").build_arrivals(),
+                          BurstyArrivals)
+
+    def test_build_identifier_carries_the_knobs(self):
+        identifier = tiny(cadence=5, patience=2, rtol=0.25).build_identifier()
+        assert identifier.cadence == 5
+        assert identifier.patience == 2
+        assert identifier.rtol == 0.25
+
+    def test_projection(self):
+        assert tiny().projection() is None
+        assert tiny(targets=[1, 3]).projection() == ProjectionSpec((1, 3))

@@ -1,0 +1,132 @@
+"""Request workloads: mixture schedules over real corpus distributions."""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import DATASETS
+from repro.errors import ConfigurationError
+from repro.traffic import TrafficPhase, sample_requests
+from repro.train.frame import NO_TGT
+
+
+@pytest.fixture(scope="module")
+def iwslt():
+    return DATASETS.create("iwslt", scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def librispeech():
+    return DATASETS.create("librispeech", scale=0.01)
+
+
+class TestTrafficPhase:
+    def test_defaults_span_full_distribution(self):
+        phase = TrafficPhase(1.0)
+        assert (phase.quantile_lo, phase.quantile_hi) == (0.0, 1.0)
+
+    def test_from_value_accepts_mapping(self):
+        phase = TrafficPhase.from_value({"fraction": 2, "quantile_hi": 0.5})
+        assert phase == TrafficPhase(2.0, 0.0, 0.5)
+
+    def test_from_value_passes_phase_through(self):
+        phase = TrafficPhase(1.0)
+        assert TrafficPhase.from_value(phase) is phase
+
+    def test_dict_round_trip(self):
+        phase = TrafficPhase(0.5, 0.25, 0.75)
+        assert TrafficPhase.from_value(phase.to_dict()) == phase
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown TrafficPhase"):
+            TrafficPhase.from_value({"fraction": 1.0, "ratio": 2})
+
+    def test_fraction_required(self):
+        with pytest.raises(ConfigurationError, match="'fraction'"):
+            TrafficPhase.from_value({"quantile_lo": 0.2})
+
+    def test_fraction_positive(self):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            TrafficPhase(0.0)
+
+    def test_quantile_window_ordering(self):
+        with pytest.raises(ConfigurationError, match="quantile window"):
+            TrafficPhase(1.0, 0.7, 0.3)
+
+
+class TestSampleRequests:
+    def test_deterministic(self, iwslt):
+        phases = (TrafficPhase(1.0),)
+        first = sample_requests(iwslt, phases, 256, seed=5)
+        second = sample_requests(iwslt, phases, 256, seed=5)
+        assert np.array_equal(first.seq_len, second.seq_len)
+        assert np.array_equal(first.tgt_len, second.tgt_len)
+        assert not np.array_equal(
+            first.seq_len, sample_requests(iwslt, phases, 256, seed=6).seq_len
+        )
+
+    def test_count_exact_under_remainders(self, iwslt):
+        phases = (TrafficPhase(1.0), TrafficPhase(1.0), TrafficPhase(1.0))
+        requests = sample_requests(iwslt, phases, 100, seed=0)
+        assert len(requests) == 100
+        # Floor allocation credits the remainder to the last phase.
+        assert np.count_nonzero(requests.phase == 2) == 34
+
+    def test_quantile_windows_bound_lengths(self, iwslt):
+        lengths = iwslt.lengths
+        requests = sample_requests(
+            iwslt, (TrafficPhase(1.0, 0.0, 0.4),), 512, seed=1
+        )
+        assert requests.seq_len.max() <= np.quantile(lengths, 0.4)
+
+    def test_phase_column_orders_the_schedule(self, iwslt):
+        requests = sample_requests(
+            iwslt,
+            (TrafficPhase(0.5, 0.0, 0.5), TrafficPhase(0.5, 0.5, 1.0)),
+            64,
+            seed=0,
+        )
+        assert np.all(np.diff(requests.phase) >= 0)
+        assert set(requests.phase.tolist()) == {0, 1}
+
+    def test_editing_one_phase_leaves_others_untouched(self, iwslt):
+        base = sample_requests(
+            iwslt,
+            (TrafficPhase(0.5), TrafficPhase(0.5, 0.5, 1.0)),
+            64,
+            seed=0,
+        )
+        edited = sample_requests(
+            iwslt,
+            (TrafficPhase(0.5), TrafficPhase(0.5, 0.0, 0.5)),
+            64,
+            seed=0,
+        )
+        first_half = base.phase == 0
+        assert np.array_equal(
+            base.seq_len[first_half], edited.seq_len[first_half]
+        )
+
+    def test_targets_follow_the_corpus(self, iwslt, librispeech):
+        with_targets = sample_requests(iwslt, (TrafficPhase(1.0),), 32, seed=0)
+        assert np.all(with_targets.tgt_len > 0)
+        without = sample_requests(librispeech, (TrafficPhase(1.0),), 32, seed=0)
+        assert np.all(without.tgt_len == NO_TGT)
+
+    def test_count_must_be_positive(self, iwslt):
+        with pytest.raises(ConfigurationError, match="request count"):
+            sample_requests(iwslt, (TrafficPhase(1.0),), 0, seed=0)
+
+    def test_phases_required(self, iwslt):
+        with pytest.raises(ConfigurationError, match="phase"):
+            sample_requests(iwslt, (), 10, seed=0)
+
+    def test_empty_quantile_window_is_an_error(self, iwslt):
+        # A window between two adjacent quantiles of a discrete length
+        # distribution can select nothing; that must fail loudly.
+        narrow = (TrafficPhase(1.0, 0.5001, 0.5002),)
+        try:
+            requests = sample_requests(iwslt, narrow, 8, seed=0)
+        except ConfigurationError as exc:
+            assert "selects no corpus samples" in str(exc)
+        else:  # the window happened to straddle a mass point
+            assert len(requests) == 8
