@@ -11,7 +11,13 @@ request lengths, dynamic batching, device FIFO — and reports
   corpus quantiles), the drift guard fires at least one reset, and the
   identifier re-converges on the new mix, and
 * **SLO percentiles**: request latency p50/p95/p99 per batching
-  policy, the serving-facing view of what each policy trades away.
+  policy, the serving-facing view of what each policy trades away, and
+* **serve fast path**: the shape-memoized columnar serve
+  (``TrafficSimulator(memoized=True)``, the default) against the
+  retained per-batch scalar walk on one pre-formed paper-scale request
+  stream — bit-identity asserted every trial (frame, latency columns,
+  percentiles, streaming convergence), speedup gated at ≥5x on
+  non-smoke runs (skipped on 1-core hosts).
 
 Unlike the corpus-replay benches, load here is set by the request
 count and arrival rate — the corpus scale only sets the pool request
@@ -31,10 +37,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 
+import numpy as np
+
 from repro.api import AnalysisEngine
-from repro.traffic import TrafficSpec
+from repro.hw.config import paper_config
+from repro.hw.device import GpuDevice
+from repro.stream import StreamingSlStatistics
+from repro.traffic import (
+    TrafficFeed,
+    TrafficSimulator,
+    TrafficSpec,
+    form_batches,
+    sample_requests,
+)
 
 #: The paper's identification-error threshold e (percent), applied to
 #: the streaming projected-vs-actual serving time on stationary mixes.
@@ -83,6 +101,14 @@ SCENARIOS = {
 
 #: Batching policies compared in the SLO table (stationary mix).
 SLO_POLICIES = ("pooled", "sorted", "shuffled")
+
+#: Serve fast-path knobs: paper-scale stream (the memoized path's win
+#: grows with batches-per-unique-shape), min-of-repeats timing, and a
+#: speedup gate mirroring the kernel-timing bench's self-skip rules.
+SERVE_REQUESTS = 65536
+SERVE_REPEATS = 3
+SERVE_SPEEDUP_GATE = 5.0
+MIN_RELIABLE_SERVE_S = 0.05
 
 
 def build_spec(name: str, scale: float, requests: int | None = None):
@@ -158,6 +184,121 @@ def slo_table(engine: AnalysisEngine, scale: float, requests: int):
     return rows
 
 
+def assert_served_identical(fast, slow, spec) -> None:
+    """Bit-identity of the memoized serve against the scalar walk."""
+    assert fast.frame.to_payload() == slow.frame.to_payload()
+    assert np.array_equal(fast.queue_wait_s, slow.queue_wait_s)
+    assert np.array_equal(fast.latency_s, slow.latency_s)
+    assert fast.makespan_s == slow.makespan_s
+    assert fast.latency_percentiles() == slow.latency_percentiles()
+    assert fast.queue_wait_percentiles() == slow.queue_wait_percentiles()
+    runs = [
+        spec.build_identifier().run(
+            TrafficFeed(served),
+            stats=StreamingSlStatistics.for_frame(served.frame),
+        )
+        for served in (fast, slow)
+    ]
+    assert runs[0].converged == runs[1].converged
+    assert runs[0].iterations_consumed == runs[1].iterations_consumed
+    assert [
+        (p.seq_len, p.tgt_len, p.weight) for p in runs[0].selection.points
+    ] == [
+        (p.seq_len, p.tgt_len, p.weight) for p in runs[1].selection.points
+    ]
+
+
+def serve_fastpath_rows(engine: AnalysisEngine, scale: float, requests: int):
+    """Memoized vs scalar serve on one pre-formed request stream.
+
+    Both simulators share the device (measurements are deterministic
+    and memoized there) and are warmed once, so the repeats time the
+    serve paths themselves: O(unique shapes) columnar work against
+    O(batches) Python stepping.
+    """
+    rows = []
+    print("serve fast path (memoized vs per-batch scalar):")
+    for network in ("gnmt", "ds2"):
+        spec = build_spec(f"{network}-stationary", scale, requests)
+        resolved = engine.resolve(spec.analysis)
+        stream = sample_requests(
+            resolved.train_data, spec.phases, spec.requests,
+            spec.analysis.seed,
+        )
+        arrival_s = spec.build_arrivals().times(
+            len(stream), spec.analysis.seed
+        )
+        batches = form_batches(
+            arrival_s, stream.seq_len, stream.tgt_len,
+            resolved.batching, spec.max_wait_s,
+        )
+        device = GpuDevice(paper_config(spec.analysis.config))
+        simulators = {
+            memoized: TrafficSimulator(
+                resolved.model, spec.analysis.dataset, resolved.batching,
+                device, memoized=memoized,
+            )
+            for memoized in (True, False)
+        }
+        # Warm both executors: repeats then measure serve-path overhead,
+        # not first-shape device timing.
+        for simulator in simulators.values():
+            simulator.serve(stream, arrival_s, batches)
+        memoized_s = scalar_s = float("inf")
+        for _ in range(SERVE_REPEATS):
+            start = time.perf_counter()
+            fast = simulators[True].serve(stream, arrival_s, batches)
+            memoized_s = min(memoized_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            slow = simulators[False].serve(stream, arrival_s, batches)
+            scalar_s = min(scalar_s, time.perf_counter() - start)
+            assert_served_identical(fast, slow, spec)
+        shapes = {(len(b), b.seq_len, b.tgt_len) for b in batches}
+        speedup = scalar_s / memoized_s
+        rows.append(
+            {
+                "name": f"{network}-serve-fastpath",
+                "seconds": memoized_s,
+                "speedup": speedup,
+                f"{network}_serve_scalar_ms": scalar_s * 1e3,
+                f"{network}_serve_memoized_ms": memoized_s * 1e3,
+                "batches": len(batches),
+                "unique_shapes": len(shapes),
+            }
+        )
+        print(
+            f"  {network:>5}: {len(batches)} batches collapse onto "
+            f"{len(shapes)} unique shapes; scalar {scalar_s * 1e3:.1f} ms, "
+            f"memoized {memoized_s * 1e3:.1f} ms ({speedup:.1f}x), "
+            "bit-identical every trial"
+        )
+    return rows
+
+
+def check_serve_gate(rows) -> list[str]:
+    """The ≥5x serve gate, with the kernel bench's self-skip rules."""
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(f"NOTE: only {cores} CPU; serve speedup gate skipped")
+        return []
+    failures = []
+    for row in rows:
+        scalar_s = row["seconds"] * row["speedup"]
+        if scalar_s < MIN_RELIABLE_SERVE_S:
+            print(
+                f"NOTE: {row['name']}: scalar serve took "
+                f"{scalar_s * 1e3:.0f} ms "
+                f"(< {MIN_RELIABLE_SERVE_S * 1e3:.0f} ms); too fast to gate"
+            )
+        elif row["speedup"] < SERVE_SPEEDUP_GATE:
+            failures.append(
+                f"{row['name']}: memoized serve speedup "
+                f"{row['speedup']:.2f}x below the "
+                f"{SERVE_SPEEDUP_GATE:.0f}x gate"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -214,6 +355,13 @@ def main(argv=None) -> int:
             }
         )
 
+    fastpath = serve_fastpath_rows(
+        engine, args.scale, 512 if args.smoke else SERVE_REQUESTS
+    )
+    entries.extend(fastpath)
+    if gated:
+        failures.extend(check_serve_gate(fastpath))
+
     if args.json is not None:
         payload = {
             "bench": "traffic_serving",
@@ -244,6 +392,17 @@ def test_traffic_serving_invariants(scale):
         engine, "gnmt-stationary", min(scale, 0.05), requests=512
     )
     assert again.to_dict() == result.to_dict()
+
+
+def test_serve_fastpath_bit_identity(scale):
+    """Pytest entry: memoized serve ≡ scalar walk (asserted inside)."""
+    rows = serve_fastpath_rows(AnalysisEngine(), min(scale, 0.05), 512)
+    assert {row["name"] for row in rows} == {
+        "gnmt-serve-fastpath", "ds2-serve-fastpath"
+    }
+    for row in rows:
+        assert 1 <= row["unique_shapes"] <= row["batches"]
+        assert row["speedup"] > 0.0
 
 
 if __name__ == "__main__":

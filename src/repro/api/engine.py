@@ -610,7 +610,9 @@ class AnalysisEngine:
             selection=run.selection,
         )
 
-    def run_traffic(self, traffic: "Any") -> TrafficAnalysisResult:
+    def run_traffic(
+        self, traffic: "Any", *, plan_store_dir: "str | None" = None
+    ) -> TrafficAnalysisResult:
         """Execute a :class:`~repro.traffic.spec.TrafficSpec`.
 
         A seeded arrival process paces requests bootstrap-resampled
@@ -623,25 +625,44 @@ class AnalysisEngine:
         time is projected onto any target configurations by re-timing
         the *same* batch composition there.
 
+        ``plan_store_dir`` attaches a cross-process
+        :class:`~repro.models.plan.PlanStore` for the duration of the
+        run (as sweep/serve already do), so repeated traffic
+        simulations share lowered plans machine-wide.
+
         ``arrival="offline"`` degenerates to the classic §VII-E
         inference pass: the evaluation split is served as one epoch of
         :class:`~repro.train.inference.InferenceRunSimulator` batches
         (``experiments/inference.py`` routes here, bit-identically).
         """
+        from repro.models.plan import PLAN_CACHE, PlanStore
+        from repro.traffic.spec import TrafficSpec
+
+        if not isinstance(traffic, TrafficSpec):
+            raise ConfigurationError(
+                f"run_traffic expects a TrafficSpec, got {type(traffic).__name__}"
+            )
+        previous = (
+            PLAN_CACHE.attach_store(PlanStore(plan_store_dir))
+            if plan_store_dir is not None
+            else None
+        )
+        try:
+            return self._run_traffic(traffic)
+        finally:
+            if plan_store_dir is not None:
+                PLAN_CACHE.attach_store(previous)
+
+    def _run_traffic(self, traffic: "Any") -> TrafficAnalysisResult:
         from repro.core.projection import project_total
         from repro.stream.feed import TraceReplayFeed
         from repro.stream.stats import StreamingSlStatistics
         from repro.traffic.batcher import form_batches
         from repro.traffic.feed import TrafficFeed
         from repro.traffic.simulator import TrafficSimulator, latency_snapshot
-        from repro.traffic.spec import TrafficSpec
         from repro.traffic.workload import sample_requests
         from repro.train.inference import InferenceRunSimulator
 
-        if not isinstance(traffic, TrafficSpec):
-            raise ConfigurationError(
-                f"run_traffic expects a TrafficSpec, got {type(traffic).__name__}"
-            )
         spec = traffic.analysis
         resolved = self.resolve(spec)
         policy = (

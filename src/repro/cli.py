@@ -346,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated Table II configs to project serving time "
         "onto, or 'all' (default: none)",
     )
+    traffic.add_argument(
+        "--plan-store-dir", default=None, metavar="DIR",
+        help="shared on-disk plan store: repeated traffic simulations "
+        "reuse each unique lowering machine-wide",
+    )
     _add_stream_knobs(traffic, cadence_default=16)
     _add_format(traffic)
     _add_cache_dir(traffic)
@@ -941,7 +946,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             engine = AnalysisEngine(cache=TraceCache(args.cache_dir))
         else:
             engine = default_engine()
-        result = engine.run_traffic(traffic)
+        result = engine.run_traffic(
+            traffic, plan_store_dir=args.plan_store_dir
+        )
     except (ReproError, OSError, json.JSONDecodeError) as exc:
         print(f"traffic: {exc}", file=sys.stderr)
         return 2

@@ -109,6 +109,12 @@ class CounterColumns:
             **{name: float(getattr(self, name)[i]) for name in _FIELD_NAMES}
         )
 
+    def rows(self, lo: int, hi: int) -> "CounterColumns":
+        """The ``[lo, hi)`` row range as its own column set (views)."""
+        return CounterColumns(
+            **{name: getattr(self, name)[lo:hi] for name in _FIELD_NAMES}
+        )
+
     def sum_sequential(self) -> CounterSet:
         """Left-fold every column, matching ``sum(rows, zero())``.
 

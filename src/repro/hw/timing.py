@@ -16,6 +16,7 @@ one kernel invocation on one hardware configuration:
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -139,6 +140,24 @@ class WorkBatch:
             l1_working_set=columns[7],
             l2_reuse_fraction=columns[8],
             l2_working_set=columns[9],
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["WorkBatch"]) -> "WorkBatch":
+        """Stack batches row-wise into one batch.
+
+        The timing engine is purely row-wise, so timing the
+        concatenation yields per-row results identical to timing each
+        batch separately — the basis of the serving fast path's single
+        ``run_batch`` call over all unique shapes.
+        """
+        return cls(
+            **{
+                field.name: np.concatenate(
+                    [getattr(batch, field.name) for batch in batches]
+                )
+                for field in dataclasses.fields(cls)
+            }
         )
 
     def row(self, i: int) -> WorkProfile:

@@ -1,12 +1,11 @@
 """Service observability: latency histograms behind ``/stats``.
 
-A :class:`LatencyHistogram` is a fixed set of logarithmic buckets
-(100 µs up to ~2 min) with exact count/sum accounting and interpolated
-percentile estimates — cheap enough to update on every request under a
-lock, compact enough to serialize into every ``/stats`` response.  The
-:class:`MetricsRegistry` keys one histogram per endpoint *template*
-(``POST /jobs``, ``GET /jobs/<id>``, ...), so path parameters do not
-explode the cardinality.
+The histogram itself lives in :mod:`repro.util.histogram` (import-light,
+so library code can use it without dragging in the HTTP daemon);
+:class:`LatencyHistogram` and :func:`percentile` are re-exported here
+unchanged for service code.  The :class:`MetricsRegistry` keys one
+histogram per endpoint *template* (``POST /jobs``, ``GET /jobs/<id>``,
+...), so path parameters do not explode the cardinality.
 
 :func:`storage_snapshot` formats the storage tier for ``/stats``:
 per-format (json/binary) on-disk trace-cache entry counts, cold-load
@@ -17,8 +16,9 @@ store's entry/hit/miss counters.
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left
 from typing import Any
+
+from repro.util.histogram import LatencyHistogram, percentile
 
 __all__ = ["LatencyHistogram", "MetricsRegistry", "percentile", "storage_snapshot"]
 
@@ -45,71 +45,6 @@ def storage_snapshot(cache: Any, plan_store: Any = None) -> dict[str, Any]:
         "cold_loads": cold_loads,
         "plan_store": None if plan_store is None else plan_store.stats(),
     }
-
-#: Bucket upper bounds in seconds: 1e-4 .. ~134s, doubling.
-_BUCKET_BOUNDS = tuple(1e-4 * 2**i for i in range(21))
-
-
-def percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile of an unsorted sample list (q in [0, 100])."""
-    if not samples:
-        raise ValueError("percentile of an empty sample set")
-    if not 0 <= q <= 100:
-        raise ValueError(f"q must lie in [0, 100], got {q}")
-    ordered = sorted(samples)
-    rank = max(1, -(-len(ordered) * q // 100)) if q else 1
-    return ordered[int(rank) - 1]
-
-
-class LatencyHistogram:
-    """Log-bucketed latency accumulator with percentile estimates."""
-
-    __slots__ = ("_lock", "_counts", "count", "sum_s", "max_s")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        # One overflow bucket past the last bound.
-        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self.count = 0
-        self.sum_s = 0.0
-        self.max_s = 0.0
-
-    def observe(self, seconds: float) -> None:
-        if seconds < 0:
-            seconds = 0.0
-        index = bisect_left(_BUCKET_BOUNDS, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self.count += 1
-            self.sum_s += seconds
-            if seconds > self.max_s:
-                self.max_s = seconds
-
-    def _quantile_locked(self, q: float) -> float:
-        """Upper bucket bound holding the q-quantile (caller holds lock)."""
-        target = max(1, int(self.count * q + 0.999999))
-        seen = 0
-        for index, bucket in enumerate(self._counts):
-            seen += bucket
-            if seen >= target:
-                if index < len(_BUCKET_BOUNDS):
-                    return _BUCKET_BOUNDS[index]
-                return self.max_s
-        return self.max_s
-
-    def snapshot(self) -> dict[str, Any]:
-        with self._lock:
-            if self.count == 0:
-                return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
-                        "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
-            return {
-                "count": self.count,
-                "mean_ms": 1e3 * self.sum_s / self.count,
-                "p50_ms": 1e3 * self._quantile_locked(0.50),
-                "p95_ms": 1e3 * self._quantile_locked(0.95),
-                "p99_ms": 1e3 * self._quantile_locked(0.99),
-                "max_ms": 1e3 * self.max_s,
-            }
 
 
 class MetricsRegistry:

@@ -220,27 +220,52 @@ class StreamingSlStatistics:
             return
         seq_chunk = frame.seq_len[start:stop]
         time_chunk = frame.time_s[start:stop]
-        # Running accumulators advance value by value, in arrival order,
-        # so the totals stay bit-identical to the batch bincount.
-        for seq_len, time_s in zip(seq_chunk.tolist(), time_chunk.tolist()):
-            self._account(seq_len, time_s)
+        if np.any(time_chunk <= 0.0):
+            raise TraceError(f"iteration {len(self)}: non-positive time")
+        # Bulk-advance the running accumulators while preserving the
+        # exact per-SL addition sequence: each SL's existing total rides
+        # as a leading weight, and ``np.bincount`` folds weights
+        # element by element in arrival order — so every total is the
+        # same left fold the record-at-a-time loop produces, bit for
+        # bit (``0.0 + old == old`` exactly for the seeded leading
+        # weight).
+        seq_lens, inverse = np.unique(seq_chunk, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        bins = seq_lens.size
+        old_totals = np.fromiter(
+            (self._totals.get(sl, 0.0) for sl in seq_lens.tolist()),
+            np.float64,
+            bins,
+        )
+        new_totals = np.bincount(
+            np.concatenate((np.arange(bins, dtype=np.int64), inverse)),
+            weights=np.concatenate((old_totals, time_chunk)),
+            minlength=bins,
+        )
+        new_counts = np.bincount(inverse, minlength=bins)
+        for position, sl in enumerate(seq_lens.tolist()):
+            self._counts[sl] = self._counts.get(sl, 0) + int(
+                new_counts[position]
+            )
+            self._totals[sl] = float(new_totals[position])
         self._index.extend(frame.index[start:stop])
         self._epoch.extend(frame.epoch[start:stop])
         self._seq_len.extend(seq_chunk)
         self._tgt_len.extend(frame.tgt_len[start:stop])
         self._time_s.extend(time_chunk)
         source_ids = frame.profile_id[start:stop]
-        remap = {
-            pid: self._pool_profile(frame.profiles[pid])
-            for pid in np.unique(source_ids).tolist()
-        }
-        self._profile_id.extend(
-            np.fromiter(
-                (remap[pid] for pid in source_ids.tolist()),
-                np.int64,
-                source_ids.size,
-            )
+        unique_ids = np.unique(source_ids)
+        mapped = np.fromiter(
+            (
+                self._pool_profile(frame.profiles[pid])
+                for pid in unique_ids.tolist()
+            ),
+            np.int64,
+            unique_ids.size,
         )
+        lookup = np.zeros(int(unique_ids[-1]) + 1, dtype=np.int64)
+        lookup[unique_ids] = mapped
+        self._profile_id.extend(lookup[source_ids])
 
     # -- snapshots ----------------------------------------------------
 

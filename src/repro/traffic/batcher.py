@@ -35,7 +35,13 @@ from repro.data.batching import (
 from repro.errors import ConfigurationError
 from repro.train.frame import NO_TGT
 
-__all__ = ["FormedBatch", "DynamicBatcher", "form_batches"]
+__all__ = [
+    "BatchColumns",
+    "FormedBatch",
+    "FormedBatchList",
+    "DynamicBatcher",
+    "form_batches",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +61,34 @@ class FormedBatch:
 
     def __len__(self) -> int:
         return int(self.members.size)
+
+
+@dataclass(frozen=True)
+class BatchColumns:
+    """Columnar twin of a formed-batch list.
+
+    The vectorized formation path computes every per-batch quantity as
+    an array before materialising :class:`FormedBatch` objects; keeping
+    those arrays lets the serving fast path stay columnar end to end
+    instead of re-gathering fields batch by batch.  ``members`` is the
+    full request permutation in batch order; batch ``b`` owns
+    ``members[starts[b]:starts[b] + sizes[b]]``.
+    """
+
+    form_s: np.ndarray
+    seq_len: np.ndarray
+    tgt_len: np.ndarray
+    sizes: np.ndarray
+    members: np.ndarray
+    starts: np.ndarray
+
+
+class FormedBatchList(list):
+    """A ``list[FormedBatch]`` carrying its :class:`BatchColumns`."""
+
+    def __init__(self, batches, columns: BatchColumns):
+        super().__init__(batches)
+        self.columns = columns
 
 
 def _policy_queue(policy: BatchingPolicy) -> tuple[bool, int | None]:
@@ -81,8 +115,16 @@ def form_batches(
     tgt_len: np.ndarray,
     policy: BatchingPolicy,
     max_wait_s: float,
+    vectorized: bool = True,
 ) -> list[FormedBatch]:
-    """Form serving batches from an arrival-ordered request stream."""
+    """Form serving batches from an arrival-ordered request stream.
+
+    ``vectorized`` picks between two bit-identical implementations: the
+    default columnar one (precomputed flush points, one global stable
+    sort) and the scalar event loop the columnar path is asserted
+    against (property tests sweep policies × arrival processes ×
+    seeds).
+    """
     if not max_wait_s > 0.0:
         raise ConfigurationError(
             f"max_wait_s must be positive, got {max_wait_s}"
@@ -97,6 +139,23 @@ def form_batches(
         )
     if arrival_s.size and np.any(np.diff(arrival_s) < 0):
         raise ConfigurationError("arrival times must be non-decreasing")
+    if vectorized:
+        return _form_batches_columnar(
+            arrival_s, seq_len, tgt_len, policy, max_wait_s
+        )
+    return _form_batches_scalar(
+        arrival_s, seq_len, tgt_len, policy, max_wait_s
+    )
+
+
+def _form_batches_scalar(
+    arrival_s: np.ndarray,
+    seq_len: np.ndarray,
+    tgt_len: np.ndarray,
+    policy: BatchingPolicy,
+    max_wait_s: float,
+) -> list[FormedBatch]:
+    """Reference event loop: one pass, one decision per request."""
     bucketed, capacity = _policy_queue(policy)
     batch_size = policy.batch_size
     batches: list[FormedBatch] = []
@@ -136,6 +195,90 @@ def form_batches(
         # the arrival loop guarantees every member predates this).
         flush(float(arrival_s[waiting[0]]) + max_wait_s)
     return batches
+
+
+def _form_batches_columnar(
+    arrival_s: np.ndarray,
+    seq_len: np.ndarray,
+    tgt_len: np.ndarray,
+    policy: BatchingPolicy,
+    max_wait_s: float,
+) -> list[FormedBatch]:
+    """Columnar formation, bit-identical to the scalar event loop.
+
+    Flush pools are contiguous arrival ranges, so the event loop
+    collapses to: from pool start ``s``, the deadline break is the
+    first request arriving strictly after ``arrival[s] + max_wait``
+    (one ``searchsorted`` over precomputed deadlines); the capacity
+    trigger wins iff the pool fills before that break, flushing at the
+    capacity-filling arrival, else the whole range flushes at the
+    deadline (end-of-stream included — same formula).  Within-pool
+    ordering is one global stable lexsort (pool id major, seq_len
+    minor) instead of one argsort per flush; per-batch padded maxima
+    come from ``np.maximum.reduceat``.
+    """
+    total = int(arrival_s.size)
+    if total == 0:
+        return []
+    bucketed, capacity = _policy_queue(policy)
+    batch_size = policy.batch_size
+    # Per-request deadline, computed with the same float add the scalar
+    # loop performs; breaks[s] = first index arriving strictly later.
+    deadline = arrival_s + max_wait_s
+    breaks = np.searchsorted(arrival_s, deadline, side="right")
+
+    pool_of = np.empty(total, dtype=np.int64)
+    pool_start_of = np.empty(total, dtype=np.int64)
+    pool_flush: list[float] = []
+    start = 0
+    while start < total:
+        brk = int(breaks[start])
+        if capacity is not None and start + capacity <= brk:
+            stop = start + capacity
+            flush_time = float(arrival_s[stop - 1])
+        else:
+            stop = brk
+            flush_time = float(deadline[start])
+        pool_of[start:stop] = len(pool_flush)
+        pool_start_of[start:stop] = start
+        pool_flush.append(flush_time)
+        start = stop
+
+    if bucketed:
+        order = np.lexsort((seq_len, pool_of)).astype(np.int64)
+    else:
+        order = np.arange(total, dtype=np.int64)
+    position = np.arange(total, dtype=np.int64) - pool_start_of
+    batch_starts = np.flatnonzero(position % batch_size == 0)
+    batch_stops = np.append(batch_starts[1:], total)
+    seq_max = np.maximum.reduceat(seq_len[order], batch_starts)
+    tgt_max = np.maximum.reduceat(tgt_len[order], batch_starts)
+    seq_pad = policy._pad_column(seq_max)
+    tgt_pad = np.where(
+        tgt_max == NO_TGT, NO_TGT, policy._pad_column(tgt_max)
+    )
+    batch_pool = pool_of[batch_starts]
+    flush_s = np.asarray(pool_flush, dtype=np.float64)
+    columns = BatchColumns(
+        form_s=flush_s[batch_pool],
+        seq_len=seq_pad.astype(np.int64, copy=False),
+        tgt_len=tgt_pad.astype(np.int64, copy=False),
+        sizes=batch_stops - batch_starts,
+        members=order,
+        starts=batch_starts,
+    )
+    return FormedBatchList(
+        (
+            FormedBatch(
+                form_time_s=pool_flush[int(batch_pool[b])],
+                members=order[batch_starts[b]:batch_stops[b]],
+                seq_len=int(seq_pad[b]),
+                tgt_len=int(tgt_pad[b]),
+            )
+            for b in range(batch_starts.size)
+        ),
+        columns,
+    )
 
 
 class DynamicBatcher:

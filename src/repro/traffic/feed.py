@@ -28,19 +28,18 @@ class TrafficFeed:
         self._form_times = np.asarray(
             [batch.form_time_s for batch in served.batches], dtype=np.float64
         )
+        # Chunk boundaries: wherever the formation instant changes.
+        self._bounds = np.flatnonzero(np.diff(self._form_times)) + 1
 
     def __len__(self) -> int:
         return len(self.frame)
 
     def __iter__(self) -> Iterator[FrameSlice]:
         total = len(self.frame)
+        if total == 0:
+            return
         start = 0
-        while start < total:
-            stop = start + 1
-            while (
-                stop < total
-                and self._form_times[stop] == self._form_times[start]
-            ):
-                stop += 1
+        for stop in self._bounds.tolist():
             yield FrameSlice(frame=self.frame, start=start, stop=stop)
             start = stop
+        yield FrameSlice(frame=self.frame, start=start, stop=total)

@@ -15,7 +15,18 @@ measured forward latency.  The result is
   and streaming identifier consumes serving traffic unchanged, and
 * per-request queue-wait and end-to-end latency columns, summarised as
   SLO-style p50/p95/p99 through the
-  :class:`~repro.serve.metrics.LatencyHistogram` machinery.
+  :class:`~repro.util.histogram.LatencyHistogram` machinery.
+
+Two serve paths exist, mirroring the executor's batched/scalar split:
+the default **memoized** path groups batches by unique
+``(len(batch), seq_len, tgt_len)`` shape, times each unique shape
+exactly once (one :meth:`~repro.hw.device.GpuDevice.run_batch` over all
+unique shapes), scatters times and profile ids back by group index, and
+replays the device FIFO as a vectorized prefix recurrence; the
+**scalar** reference path (``memoized=False``) walks batch by batch,
+exactly as before.  Both produce bit-identical :class:`ServedTraffic`
+values — asserted every bench trial and property-tested across
+policies × arrival processes × seeds × drift schedules.
 """
 
 from __future__ import annotations
@@ -33,20 +44,99 @@ from repro.traffic.workload import RequestSet
 from repro.train.frame import NO_TGT, IterationProfile, TraceFrame
 from repro.train.inference import DEFAULT_SERVING_OVERHEAD_S
 from repro.train.iteration import IterationExecutor
+from repro.util.histogram import LatencyHistogram
 
 __all__ = ["ServedTraffic", "TrafficSimulator", "latency_snapshot"]
 
 
+def _fifo_prefix(
+    form_s: np.ndarray, time_s: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized replay of the single-device FIFO recurrence.
+
+    The scalar loop computes ``start[i] = max(form[i], free[i-1])``,
+    ``free[i] = start[i] + time[i]`` — a running max-plus fold that a
+    naive prefix scan would re-associate, changing low bits.  Instead
+    the stream is split into *idle runs* (each batch starts at its own
+    formation instant, so ``free = form + time`` elementwise) and *busy
+    chains* (each batch starts when its predecessor frees the device,
+    so frees are a cumsum with the chain's entry free prepended — the
+    same strict left fold the scalar loop performs).  Idle-run extents
+    are precomputable: once one batch idles, the next idles iff its
+    formation is at or past ``form + time`` of the previous.  Busy-chain
+    extents depend on computed frees: short chains (the common case
+    under moderate load) step scalar — the identical left fold, hence
+    the identical bits — and long chains escalate to geometrically
+    doubling lookahead blocks, keeping work linear amortized.  Every
+    emitted value is produced by the same IEEE
+    operation on the same operands as the scalar loop, hence
+    bit-identical.
+    """
+    count = int(form_s.size)
+    fresh_free = form_s + time_s
+    # Start from the all-idle answer; busy stretches overwrite in place.
+    start_s = form_s.copy()
+    free_s = fresh_free.copy()
+    # Positions i where batch i+1 would couple to batch i *if* batch i
+    # idle-started (then free[i] == fresh_free[i] exactly).
+    couple_list = np.flatnonzero(form_s[1:] < fresh_free[:-1]).tolist()
+    couple_count = len(couple_list)
+    # Python-float copies for the scalar stepping below: float64 →
+    # float is exact, and Python ``+`` is the same IEEE add.
+    form_list = form_s.tolist()
+    time_list = time_s.tolist()
+    fresh_list = fresh_free.tolist()
+    slot = 0
+    cursor = 0
+    carry = 0.0  # device-free instant before batch ``cursor``
+    while cursor < count:
+        if form_list[cursor] >= carry:
+            # Idle run: the prefilled values are already correct for
+            # this batch and every successor until the next coupling
+            # point (the slot pointer advances monotonically).
+            while slot < couple_count and couple_list[slot] < cursor:
+                slot += 1
+            stop = couple_list[slot] + 1 if slot < couple_count else count
+            carry = fresh_list[stop - 1]
+            cursor = stop
+            continue
+        # Busy chain: frees accumulate left to right from ``carry``.
+        # Step the first stretch scalar; chains that outlast it switch
+        # to vectorized lookahead blocks.
+        limit = min(count, cursor + 64)
+        while cursor < limit and form_list[cursor] < carry:
+            start_s[cursor] = carry
+            carry = carry + time_list[cursor]
+            free_s[cursor] = carry
+            cursor += 1
+        if cursor == limit and cursor < count and form_list[cursor] < carry:
+            block = 64
+            while cursor < count:
+                upper = min(count, cursor + block)
+                chain = np.cumsum(
+                    np.concatenate(((carry,), time_s[cursor:upper]))
+                )
+                prev_free = chain[:-1]
+                breaks = np.flatnonzero(form_s[cursor:upper] >= prev_free)
+                if breaks.size:
+                    cut = int(breaks[0])
+                    start_s[cursor : cursor + cut] = prev_free[:cut]
+                    free_s[cursor : cursor + cut] = chain[1 : cut + 1]
+                    carry = float(chain[cut])
+                    cursor += cut
+                    break
+                start_s[cursor:upper] = prev_free
+                free_s[cursor:upper] = chain[1:]
+                carry = float(chain[-1])
+                cursor = upper
+                block *= 2
+    return start_s, free_s
+
+
 def latency_snapshot(seconds: np.ndarray) -> dict[str, Any]:
     """p50/p95/p99 summary of a latency column, in milliseconds."""
-    # Imported lazily: ``repro.serve`` pulls in the HTTP daemon (and,
-    # through it, the top-level package), which must not load just
-    # because a traffic simulation wants a histogram.
-    from repro.serve.metrics import LatencyHistogram
-
     histogram = LatencyHistogram()
-    for value in seconds.tolist():
-        histogram.observe(value)
+    histogram.observe_many(seconds)
     return histogram.snapshot()
 
 
@@ -89,14 +179,23 @@ class TrafficSimulator:
         device: GpuDevice,
         host_overhead_s: float = DEFAULT_SERVING_OVERHEAD_S,
         batched: bool = True,
+        memoized: bool = True,
     ):
         self.model = model
         self.dataset_name = dataset_name
         self.policy = policy
         self.device = device
+        self.memoized = memoized
         self.executor = IterationExecutor(
             model, device, host_overhead_s, batched=batched
         )
+        #: Per unique shape, the reusable inputs object and the derived
+        #: profile with its pooling key — shapes repeat across serve
+        #: calls just as they repeat across batches.
+        self._inputs_of: dict[tuple[int, int, int], IterationInputs] = {}
+        self._profile_of: dict[
+            tuple[int, int, int], tuple[tuple, IterationProfile]
+        ] = {}
 
     def measure_seq_len(self, seq_len: int, tgt_len: int | None = None) -> float:
         """Forward latency of one full batch at ``seq_len``."""
@@ -111,7 +210,23 @@ class TrafficSimulator:
         arrival_s: np.ndarray,
         batches: list[FormedBatch],
     ) -> ServedTraffic:
-        """Run formed batches through the device FIFO."""
+        """Run formed batches through the device FIFO.
+
+        Dispatches to the shape-memoized columnar path (the default) or
+        the per-batch scalar reference; both return bit-identical
+        results.
+        """
+        if self.memoized and batches:
+            return self._serve_memoized(requests, arrival_s, batches)
+        return self._serve_scalar(requests, arrival_s, batches)
+
+    def _serve_scalar(
+        self,
+        requests: RequestSet,
+        arrival_s: np.ndarray,
+        batches: list[FormedBatch],
+    ) -> ServedTraffic:
+        """Reference path: one forward pass and FIFO step per batch."""
         count = len(batches)
         index = np.arange(count, dtype=np.int64)
         epoch = np.empty(count, dtype=np.int64)
@@ -173,4 +288,146 @@ class TrafficSimulator:
             queue_wait_s=queue_wait,
             latency_s=latency,
             makespan_s=device_free,
+        )
+
+    def _serve_memoized(
+        self,
+        requests: RequestSet,
+        arrival_s: np.ndarray,
+        batches: list[FormedBatch],
+    ) -> ServedTraffic:
+        """Fast path: device work per unique shape, columnar FIFO.
+
+        SeqPoint's Key Observation 4 applied to serving — formed
+        batches collapse onto few unique ``(batch, seq_len, tgt_len)``
+        shapes, so each shape is timed exactly once (all missing shapes
+        through one :meth:`~repro.hw.device.GpuDevice.run_batch`) and
+        per-batch columns are gathered back by group index.  Unique
+        shapes are processed in first-appearance order, so the profile
+        pool is populated in the same order the scalar walk would
+        populate it; the FIFO/latency columns come from
+        :func:`_fifo_prefix`.  Result is bit-identical to
+        :meth:`_serve_scalar`.
+        """
+        count = len(batches)
+        columns = getattr(batches, "columns", None)
+        if columns is not None:
+            # The vectorized batcher kept its per-batch arrays: no
+            # re-gathering of fields batch by batch.
+            sizes = columns.sizes
+            seq_len = columns.seq_len
+            tgt_len = columns.tgt_len
+            form_s = columns.form_s
+            members = columns.members
+            segment_starts = columns.starts
+        else:
+            sizes = np.fromiter(
+                (len(batch) for batch in batches), np.int64, count
+            )
+            seq_len = np.fromiter(
+                (batch.seq_len for batch in batches), np.int64, count
+            )
+            tgt_len = np.fromiter(
+                (batch.tgt_len for batch in batches), np.int64, count
+            )
+            form_s = np.fromiter(
+                (batch.form_time_s for batch in batches), np.float64, count
+            )
+            members = np.concatenate([batch.members for batch in batches])
+            segment_starts = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(sizes)[:-1])
+            )
+        # Group by unique shape via one packed int64 key — injective
+        # because each field is bounded by its own base — instead of a
+        # row-sorting ``np.unique(..., axis=0)``.
+        tgt_shift = tgt_len + 1  # NO_TGT (-1) packs as 0
+        seq_base = int(seq_len.max()) + 1
+        tgt_base = int(tgt_shift.max()) + 1
+        code = (sizes * seq_base + seq_len) * tgt_base + tgt_shift
+        _, first_index, inverse = np.unique(
+            code, return_index=True, return_inverse=True
+        )
+        # np.unique sorts; re-rank the unique ids by first appearance.
+        order = np.argsort(first_index, kind="stable")
+        rank = np.empty(order.size, dtype=np.int64)
+        rank[order] = np.arange(order.size, dtype=np.int64)
+        inverse = rank[inverse]
+        first_index = first_index[order]
+        shape_keys = [
+            (int(sizes[i]), int(seq_len[i]), int(tgt_len[i]))
+            for i in first_index.tolist()
+        ]
+        inputs_seq = []
+        for key in shape_keys:
+            inputs = self._inputs_of.get(key)
+            if inputs is None:
+                inputs = self._inputs_of[key] = IterationInputs(
+                    batch=key[0],
+                    seq_len=key[1],
+                    tgt_len=None if key[2] == NO_TGT else key[2],
+                )
+            inputs_seq.append(inputs)
+        results = self.executor.run_forward_unique(inputs_seq)
+        unique_times = np.fromiter(
+            (result.time_s for result in results), np.float64, len(results)
+        )
+        time_s = unique_times[inverse]
+        # Dedup profiles per unique shape, not per batch; first-
+        # appearance processing keeps pool insertion order (and with it
+        # every profile id) identical to the scalar walk's.
+        pool: dict[tuple, int] = {}
+        profiles: list[IterationProfile] = []
+        unique_pid = np.empty(len(results), dtype=np.int64)
+        for position, (key, result) in enumerate(zip(shape_keys, results)):
+            cached = self._profile_of.get(key)
+            if cached is None:
+                profile = IterationProfile(
+                    launches=result.launches,
+                    counters=result.counters,
+                    group_times=dict(result.group_times),
+                    kernel_names=result.kernel_names,
+                )
+                cached = self._profile_of[key] = (
+                    profile.dedup_key(), profile,
+                )
+            dedup_key, profile = cached
+            pid = pool.get(dedup_key)
+            if pid is None:
+                pid = pool[dedup_key] = len(profiles)
+                profiles.append(profile)
+            unique_pid[position] = pid
+        profile_id = unique_pid[inverse]
+        start_s, free_s = _fifo_prefix(form_s, time_s)
+
+        owner = np.repeat(np.arange(count, dtype=np.int64), sizes)
+        arrival_s = np.asarray(arrival_s, dtype=np.float64)
+        queue_wait = np.zeros(len(requests), dtype=np.float64)
+        latency = np.zeros(len(requests), dtype=np.float64)
+        queue_wait[members] = start_s[owner] - arrival_s[members]
+        latency[members] = free_s[owner] - arrival_s[members]
+        # Per-batch phase: segment-min over member phases (the scalar
+        # walk's earliest-arriving member, batches being non-empty).
+        epoch = np.minimum.reduceat(
+            requests.phase[members], segment_starts
+        ).astype(np.int64)
+        frame = TraceFrame(
+            model_name=f"{self.model.name}-serving",
+            dataset_name=self.dataset_name,
+            config_name=self.device.config.name,
+            batch_size=self.policy.batch_size,
+            index=np.arange(count, dtype=np.int64),
+            epoch=epoch,
+            seq_len=seq_len,
+            tgt_len=tgt_len,
+            time_s=time_s,
+            profile_id=profile_id,
+            profiles=tuple(profiles),
+        )
+        return ServedTraffic(
+            frame=frame,
+            batches=tuple(batches),
+            arrival_s=arrival_s,
+            queue_wait_s=queue_wait,
+            latency_s=latency,
+            makespan_s=float(free_s[-1]),
         )

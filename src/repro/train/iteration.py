@@ -26,10 +26,14 @@ configurations, and noise seeds.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.hw.counters import CounterSet
+import numpy as np
+
+from repro.hw.counters import CounterColumns, CounterSet
 from repro.hw.device import GpuDevice
+from repro.hw.timing import WorkBatch
 from repro.models.plan import PLAN_CACHE, SchedulePlan, compile_plan
 from repro.models.schedule import KernelSchedule
 from repro.models.spec import IterationInputs, Model
@@ -108,26 +112,35 @@ class IterationExecutor:
             gemm_shapes=tuple(schedule.gemm_shapes()),
         )
 
-    def _measure_plan(self, plan: SchedulePlan) -> IterationResult:
-        """Batched path: one device call, columnar reductions.
+    def _reduce_plan(
+        self,
+        plan: SchedulePlan,
+        time_s: np.ndarray,
+        counters: CounterColumns,
+    ) -> IterationResult:
+        """Fold one plan's per-kernel measurements into a result.
 
         Every reduction is a left fold in merged-entry order (via
         :func:`~repro.util.stats.sequential_sum`), replaying the scalar
         loop's accumulation bit for bit.
         """
-        measurement = self.device.run_batch(plan.work)
-        contrib = measurement.time_s * plan.counts
+        contrib = time_s * plan.counts
         group_times: dict[str, float] = {}
         for gid, group in enumerate(plan.groups):
             group_times[group] = sequential_sum(contrib[plan.group_id == gid])
         return IterationResult(
             time_s=sequential_sum(contrib, initial=self.host_overhead_s),
             launches=int(plan.counts.sum()),
-            counters=measurement.counters.scaled(plan.counts).sum_sequential(),
+            counters=counters.scaled(plan.counts).sum_sequential(),
             group_times=group_times,
             kernel_names=frozenset(plan.names),
             gemm_shapes=plan.gemm_shapes,
         )
+
+    def _measure_plan(self, plan: SchedulePlan) -> IterationResult:
+        """Batched path: one device call, columnar reductions."""
+        measurement = self.device.run_batch(plan.work)
+        return self._reduce_plan(plan, measurement.time_s, measurement.counters)
 
     def _plan_for(self, inputs: IterationInputs, kind: str) -> SchedulePlan:
         """This shape's compiled plan, through the process-wide cache.
@@ -194,3 +207,50 @@ class IterationExecutor:
                 )
             self._fwd_cache[key] = result
         return self._fwd_cache[key]
+
+    def run_forward_unique(
+        self, inputs_seq: Sequence[IterationInputs]
+    ) -> list[IterationResult]:
+        """Forward results for many shapes, one device call for the lot.
+
+        The serving fast path's entry point: every shape missing from
+        the forward memo is lowered (through the plan cache), the
+        missing plans' work columns are stacked with
+        :meth:`~repro.hw.timing.WorkBatch.concat`, and one
+        :meth:`~repro.hw.device.GpuDevice.run_batch` times them all.
+        The timing engine is purely row-wise and per-plan reductions
+        fold exactly the rows that plan contributed, so every cached
+        result is bit-identical to a separate :meth:`run_forward` call —
+        asserted in ``tests/test_plan_equivalence.py``.
+
+        Shapes are processed in first-appearance order; the scalar
+        reference path (``batched=False``) simply defers to
+        :meth:`run_forward` per shape.
+        """
+        missing: list[tuple[tuple[int, int, int | None], IterationInputs]] = []
+        queued: set[tuple[int, int, int | None]] = set()
+        for inputs in inputs_seq:
+            key = self._key(inputs)
+            if key not in self._fwd_cache and key not in queued:
+                queued.add(key)
+                missing.append((key, inputs))
+        if not self.batched:
+            for _, inputs in missing:
+                self.run_forward(inputs)
+        elif len(missing) == 1:
+            self.run_forward(missing[0][1])
+        elif missing:
+            plans = [self._plan_for(inputs, "forward") for _, inputs in missing]
+            measurement = self.device.run_batch(
+                WorkBatch.concat([plan.work for plan in plans])
+            )
+            offset = 0
+            for (key, _), plan in zip(missing, plans):
+                upper = offset + len(plan)
+                self._fwd_cache[key] = self._reduce_plan(
+                    plan,
+                    measurement.time_s[offset:upper],
+                    measurement.counters.rows(offset, upper),
+                )
+                offset = upper
+        return [self._fwd_cache[self._key(inputs)] for inputs in inputs_seq]

@@ -1,0 +1,122 @@
+"""Log-bucketed latency histograms, import-light.
+
+:class:`LatencyHistogram` started life in :mod:`repro.serve.metrics`,
+but importing anything under ``repro.serve`` executes the package
+``__init__`` and with it the whole HTTP daemon.  Library code that only
+wants a percentile summary — the traffic simulator's SLO snapshots, for
+one — imports from here instead; :mod:`repro.serve.metrics` re-exports
+these names unchanged, so service code keeps its spelling.
+
+The histogram is a fixed set of logarithmic buckets (100 µs up to
+~2 min) with exact count/sum accounting and interpolated percentile
+estimates — cheap enough to update on every request under a lock,
+compact enough to serialize into every ``/stats`` response.
+:meth:`LatencyHistogram.observe_many` is the columnar twin of
+:meth:`~LatencyHistogram.observe`: one ``np.digitize`` + ``bincount``
+per chunk, with the running sum continued as a strict left fold so the
+accumulated state stays bit-identical to observing value by value.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "percentile"]
+
+#: Bucket upper bounds in seconds: 1e-4 .. ~134s, doubling.
+_BUCKET_BOUNDS = tuple(1e-4 * 2**i for i in range(21))
+_BOUNDS_ARRAY = np.asarray(_BUCKET_BOUNDS, dtype=np.float64)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (q in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must lie in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100)) if q else 1
+    return ordered[int(rank) - 1]
+
+
+class LatencyHistogram:
+    """Log-bucketed latency accumulator with percentile estimates."""
+
+    __slots__ = ("_lock", "_counts", "count", "sum_s", "max_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # One overflow bucket past the last bound.
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        index = bisect_left(_BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum_s += seconds
+            if seconds > self.max_s:
+                self.max_s = seconds
+
+    def observe_many(self, seconds: np.ndarray) -> None:
+        """Absorb a whole latency column at once.
+
+        Bit-identical to looping :meth:`observe` over the column:
+        ``digitize(..., right=True)`` is ``bisect_left`` row-wise, and
+        the running sum continues as a strict left fold (the existing
+        total rides as the cumsum's first element), so every piece of
+        accumulated state matches the scalar loop's exactly.
+        """
+        values = np.asarray(seconds, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return
+        clamped = np.maximum(values, 0.0)
+        buckets = np.bincount(
+            np.digitize(clamped, _BOUNDS_ARRAY, right=True),
+            minlength=len(self._counts),
+        )
+        with self._lock:
+            for index in np.flatnonzero(buckets).tolist():
+                self._counts[index] += int(buckets[index])
+            self.count += int(values.size)
+            self.sum_s = float(
+                np.cumsum(np.concatenate(((self.sum_s,), clamped)))[-1]
+            )
+            peak = float(clamped.max())
+            if peak > self.max_s:
+                self.max_s = peak
+
+    def _quantile_locked(self, q: float) -> float:
+        """Upper bucket bound holding the q-quantile (caller holds lock)."""
+        target = max(1, int(self.count * q + 0.999999))
+        seen = 0
+        for index, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= target:
+                if index < len(_BUCKET_BOUNDS):
+                    return _BUCKET_BOUNDS[index]
+                return self.max_s
+        return self.max_s
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                        "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+            return {
+                "count": self.count,
+                "mean_ms": 1e3 * self.sum_s / self.count,
+                "p50_ms": 1e3 * self._quantile_locked(0.50),
+                "p95_ms": 1e3 * self._quantile_locked(0.95),
+                "p99_ms": 1e3 * self._quantile_locked(0.99),
+                "max_ms": 1e3 * self.max_s,
+            }

@@ -380,6 +380,18 @@ class TestTraffic:
         assert err.count("\n") == 1
         assert "fraction" in err
 
+    def test_plan_store_dir_flag_populates_store(self, tmp_path, capsys):
+        from repro.models.plan import PLAN_CACHE
+
+        PLAN_CACHE.clear()  # force lowerings through the attached store
+        plans = tmp_path / "plans"
+        assert main(
+            ["traffic", *self._FAST, "--format", "json",
+             "--plan-store-dir", str(plans)]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["requests"] == 64
+        assert list(plans.glob("*.npt"))
+
 
 class TestCleanErrors:
     """Library failures exit 2 with one stderr line, never a traceback."""

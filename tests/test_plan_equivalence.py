@@ -88,6 +88,46 @@ class TestExecutorEquivalenceMatrix:
             )
 
 
+class TestRunForwardUnique:
+    """The serving fast path's bulk shape miss: all missing shapes
+    through one ``run_batch``, bit-identical to shape-at-a-time."""
+
+    @pytest.mark.parametrize("network", sorted(MODEL_BUILDERS))
+    def test_bulk_misses_bit_identical(self, network):
+        device = GpuDevice(paper_config(1))
+        bulk = IterationExecutor(MODEL_BUILDERS[network](), device)
+        reference = IterationExecutor(MODEL_BUILDERS[network](), device)
+        shapes = SHAPES[network]
+        # Duplicates interleaved: the gather must map repeats back to
+        # the one result their shape produced.
+        inputs_seq = [*shapes, shapes[0], *shapes]
+        results = bulk.run_forward_unique(inputs_seq)
+        assert len(results) == len(inputs_seq)
+        for inputs, result in zip(inputs_seq, results):
+            assert_results_identical(result, reference.run_forward(inputs))
+        assert results[len(shapes)] is results[0]  # cached, not re-timed
+
+    def test_single_miss_and_warm_cache(self):
+        device = GpuDevice(paper_config(1))
+        executor = IterationExecutor(build_gnmt(), device)
+        reference = IterationExecutor(build_gnmt(), device)
+        first = SHAPES["gnmt"][0]
+        (solo,) = executor.run_forward_unique([first])
+        assert_results_identical(solo, reference.run_forward(first))
+        # Everything cached: no new shapes, same objects returned.
+        again = executor.run_forward_unique([first, first])
+        assert again[0] is solo and again[1] is solo
+
+    def test_scalar_executor_falls_back(self):
+        device = GpuDevice(paper_config(1))
+        scalar = IterationExecutor(build_gnmt(), device, batched=False)
+        reference = IterationExecutor(build_gnmt(), device, batched=False)
+        shapes = SHAPES["gnmt"]
+        results = scalar.run_forward_unique(list(shapes))
+        for inputs, result in zip(shapes, results):
+            assert_results_identical(result, reference.run_forward(inputs))
+
+
 class TestEpochEquivalenceMatrix:
     """Whole simulated epochs, including autotune charging, evaluation
     passes, and per-iteration measurement noise."""

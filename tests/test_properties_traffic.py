@@ -1,9 +1,12 @@
 """Property-based tests (hypothesis) on the traffic layer.
 
-Two invariants the ISSUE pins down:
+Invariants the ISSUEs pin down:
 
 * a seeded arrival process plus a batching policy is bit-deterministic
-  end to end (arrivals, batch composition, padded shapes), and
+  end to end (arrivals, batch composition, padded shapes),
+* the columnar formation path and the vectorized serve fast path are
+  **bit-identical** to their retained scalar references across
+  policies × arrival processes × seeds × drift schedules, and
 * streaming identification over a traffic feed equals batch
   identification whenever the request mix is stationary.
 """
@@ -11,12 +14,28 @@ Two invariants the ISSUE pins down:
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.api.registry import BATCHING
+from repro.api.registry import (
+    BATCHING,
+    DATASETS,
+    build_batching,
+    default_dataset,
+)
 from repro.core.seqpoint import SeqPointSelector
+from repro.hw.config import paper_config
+from repro.hw.device import GpuDevice
+from repro.models.gnmt import build_gnmt
 from repro.stream import StreamingIdentifier, StreamingSlStatistics
-from repro.traffic import ARRIVAL_KINDS, TrafficFeed, build_arrival_process, form_batches
+from repro.traffic import (
+    ARRIVAL_KINDS,
+    TrafficFeed,
+    TrafficPhase,
+    TrafficSimulator,
+    build_arrival_process,
+    form_batches,
+    sample_requests,
+)
 from repro.traffic.batcher import FormedBatch
-from repro.traffic.simulator import ServedTraffic
+from repro.traffic.simulator import ServedTraffic, _fifo_prefix
 from repro.train.frame import NO_TGT
 from tests.conftest import make_trace
 
@@ -78,6 +97,151 @@ def test_batches_partition_the_request_stream(case):
     assert all(
         batch.seq_len >= 1 and batch.tgt_len == NO_TGT for batch in batches
     )
+
+
+@given(traffic_case(), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_vectorized_formation_matches_scalar(case, with_tgt):
+    lengths, kind, rate, seed, policy_name, batch_size, max_wait_s = case
+    seq_len = np.asarray(lengths, dtype=np.int64)
+    tgt_len = (
+        seq_len // 2 + 1
+        if with_tgt
+        else np.full(seq_len.size, NO_TGT, dtype=np.int64)
+    )
+    arrival_s = build_arrival_process(kind, rate=rate).times(
+        seq_len.size, seed
+    )
+    policy = BATCHING.create(policy_name, batch_size)
+    fast = form_batches(
+        arrival_s, seq_len, tgt_len, policy, max_wait_s, vectorized=True
+    )
+    slow = form_batches(
+        arrival_s, seq_len, tgt_len, policy, max_wait_s, vectorized=False
+    )
+    assert len(fast) == len(slow)
+    for one, two in zip(fast, slow):
+        assert one.form_time_s == two.form_time_s  # bit-exact float
+        assert np.array_equal(one.members, two.members)
+        assert one.members.dtype == two.members.dtype
+        assert (one.seq_len, one.tgt_len) == (two.seq_len, two.tgt_len)
+
+
+# ---- the vectorized device FIFO ---------------------------------------
+
+
+@st.composite
+def fifo_case(draw):
+    """Formation instants (non-decreasing) plus positive device times."""
+    times = draw(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    # Gaps of zero force shared-flush pileups; large gaps force idle
+    # runs; in-between gaps exercise chain↔idle transitions.
+    gaps = draw(
+        st.lists(
+            st.one_of(
+                st.just(0.0),
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            ),
+            min_size=len(times),
+            max_size=len(times),
+        )
+    )
+    return np.cumsum(gaps), np.asarray(times, dtype=np.float64)
+
+
+@given(fifo_case())
+@settings(max_examples=60, deadline=None)
+def test_fifo_prefix_bit_identical_to_scalar_recurrence(case):
+    form_s, time_s = case
+    start_s, free_s = _fifo_prefix(form_s, time_s)
+    device_free = 0.0
+    for i in range(form_s.size):
+        start = max(float(form_s[i]), device_free)
+        device_free = start + float(time_s[i])
+        assert start_s[i] == start  # bit-exact, not approx
+        assert free_s[i] == device_free
+
+
+# ---- memoized serve == per-batch serve --------------------------------
+
+
+_SCENARIO: dict = {}
+
+
+def _serving_scenario():
+    """One shared gnmt corpus + device; measurements memoize across
+    examples, so each hypothesis case only pays for novel shapes."""
+    if not _SCENARIO:
+        dataset_name = default_dataset("gnmt")
+        corpus = DATASETS.create(dataset_name, scale=0.02)
+        train, _ = corpus.split(0.02, seed=7)
+        _SCENARIO.update(
+            model=build_gnmt(),
+            dataset_name=dataset_name,
+            train=train,
+            device=GpuDevice(paper_config(1)),
+        )
+    return _SCENARIO
+
+
+@st.composite
+def serve_case(draw):
+    policy_name = draw(st.sampled_from(BATCHING.available()))
+    kind = draw(st.sampled_from(ARRIVAL_KINDS))
+    seed = draw(st.integers(min_value=0, max_value=5))
+    drifting = draw(st.booleans())
+    return policy_name, kind, seed, drifting
+
+
+@given(serve_case())
+@settings(max_examples=10, deadline=None)
+def test_memoized_serve_bit_identical_to_scalar(case):
+    policy_name, kind, seed, drifting = case
+    scenario = _serving_scenario()
+    policy = build_batching(
+        policy_name, 8, dataset=scenario["dataset_name"]
+    )
+    phases = (
+        (
+            TrafficPhase(0.5, quantile_hi=0.6),
+            TrafficPhase(0.5, quantile_lo=0.4),
+        )
+        if drifting
+        else (TrafficPhase(1.0),)
+    )
+    requests = sample_requests(scenario["train"], phases, 48, seed)
+    arrival_s = build_arrival_process(kind, rate=96.0).times(
+        len(requests), seed
+    )
+    batches = form_batches(
+        arrival_s, requests.seq_len, requests.tgt_len, policy, 0.05
+    )
+
+    def serve(memoized):
+        simulator = TrafficSimulator(
+            scenario["model"],
+            scenario["dataset_name"],
+            policy,
+            scenario["device"],
+            memoized=memoized,
+        )
+        return simulator.serve(requests, arrival_s, batches)
+
+    fast = serve(True)
+    slow = serve(False)
+    assert fast.frame.to_payload() == slow.frame.to_payload()
+    assert fast.frame.profiles == slow.frame.profiles
+    assert np.array_equal(fast.queue_wait_s, slow.queue_wait_s)
+    assert np.array_equal(fast.latency_s, slow.latency_s)
+    assert fast.makespan_s == slow.makespan_s
+    assert fast.latency_percentiles() == slow.latency_percentiles()
+    assert fast.queue_wait_percentiles() == slow.queue_wait_percentiles()
 
 
 # ---- streaming over traffic == batch identification -------------------

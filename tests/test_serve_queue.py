@@ -2,6 +2,7 @@
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.api.spec import AnalysisSpec
@@ -210,6 +211,52 @@ class TestLatencyHistogram:
         histogram = LatencyHistogram()
         histogram.observe(-1.0)
         assert histogram.snapshot()["count"] == 1
+
+    def test_observe_many_bit_identical_to_scalar_loop(self):
+        rng = np.random.default_rng(7)
+        # Mix of negatives (clamped), tiny, typical and over-range values.
+        seconds = np.concatenate(
+            (
+                rng.uniform(-0.01, 0.5, 400),
+                np.asarray([0.0, -1.0, 1e-9, 1e-4, 2e-4, 300.0]),
+            )
+        )
+        bulk = LatencyHistogram()
+        bulk.observe_many(seconds)
+        scalar = LatencyHistogram()
+        for value in seconds.tolist():
+            scalar.observe(value)
+        assert bulk._counts == scalar._counts
+        assert bulk.count == scalar.count
+        assert bulk.sum_s == scalar.sum_s  # exact, not approx
+        assert bulk.max_s == scalar.max_s
+        assert bulk.snapshot() == scalar.snapshot()
+
+    def test_observe_many_chunked_continuation(self):
+        rng = np.random.default_rng(11)
+        seconds = rng.uniform(0.0, 2.0, 257)
+        whole = LatencyHistogram()
+        whole.observe_many(seconds)
+        chunked = LatencyHistogram()
+        for lo in range(0, seconds.size, 64):
+            chunked.observe_many(seconds[lo:lo + 64])
+        assert chunked._counts == whole._counts
+        assert chunked.sum_s == whole.sum_s
+        assert chunked.snapshot() == whole.snapshot()
+
+    def test_observe_many_empty_is_a_no_op(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.001)
+        before = histogram.snapshot()
+        histogram.observe_many(np.asarray([], dtype=np.float64))
+        assert histogram.snapshot() == before
+
+    def test_observe_many_importable_without_serve(self):
+        # The histogram lives in an import-light module: latency
+        # snapshots must not drag in the HTTP serving package.
+        from repro.util.histogram import LatencyHistogram as Light
+
+        assert Light is LatencyHistogram
 
     def test_thread_safety_exact_count(self):
         histogram = LatencyHistogram()

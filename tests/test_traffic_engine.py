@@ -150,6 +150,41 @@ class TestOfflineEquivalence:
             assert inference_outcome(network, scale) == legacy
 
 
+class TestTrafficPlanStore:
+    def test_plan_store_populates_and_detaches(self, tmp_path, engine):
+        from repro.models.plan import PLAN_CACHE
+
+        store_dir = tmp_path / "plans"
+        PLAN_CACHE.clear()  # force memory misses so the store is consulted
+        cold = engine.run_traffic(
+            traffic_spec(requests=64), plan_store_dir=str(store_dir)
+        )
+        assert list(store_dir.glob("*.npt"))  # lowerings persisted
+        # The run-scoped store did not leak into the global cache.
+        assert PLAN_CACHE.attach_store(None) is None
+
+        artefacts = {
+            path.name: path.stat().st_mtime_ns
+            for path in store_dir.glob("*.npt")
+        }
+        PLAN_CACHE.clear()  # warm run must go back through the store
+        warm = engine.run_traffic(
+            traffic_spec(requests=64), plan_store_dir=str(store_dir)
+        )
+        assert warm.to_dict() == cold.to_dict()
+        # Warm run loaded every plan: no artefact was rewritten.
+        assert {
+            path.name: path.stat().st_mtime_ns
+            for path in store_dir.glob("*.npt")
+        } == artefacts
+
+    def test_default_run_attaches_no_store(self, engine):
+        from repro.models.plan import PLAN_CACHE
+
+        engine.run_traffic(traffic_spec(requests=64))
+        assert PLAN_CACHE.attach_store(None) is None
+
+
 class TestTrafficFeed:
     def test_chunks_group_by_formation_instant(self, engine):
         from repro.api.registry import BATCHING
