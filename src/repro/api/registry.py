@@ -247,3 +247,54 @@ SELECTORS.register("prior")(PriorSelector)
 @SELECTORS.register("kmeans")
 def _kmeans(k: int = 5, seed: int = 0):
     return KMeansSelector(k=k, seed=seed)
+
+
+@SELECTORS.register("segmented")
+def _segmented(
+    base: str = "seqpoint",
+    cadence: int = 64,
+    hazard: float = 0.6,
+    threshold: float = 1.0,
+    drift_rtol: float = 0.1,
+    min_segment: int | None = None,
+    **base_kwargs: Any,
+):
+    """Changepoint-aware wrapper: any registered selector per segment."""
+    # Imported lazily: repro.stream pulls the spec layer in, which
+    # would otherwise cycle back into this module at import time.
+    from repro.stream.segments import SegmentedSelector
+
+    return SegmentedSelector(
+        SELECTORS.create(base, **base_kwargs),
+        cadence=cadence,
+        hazard=hazard,
+        threshold=threshold,
+        drift_rtol=drift_rtol,
+        min_segment=min_segment,
+    )
+
+
+@SELECTORS.register("segmented-drift")
+def _segmented_drift(
+    base: str = "seqpoint",
+    cadence: int = 64,
+    hazard: float = 0.6,
+    threshold: float = 1.0,
+    drift_rtol: float = 0.1,
+    min_segment: int | None = None,
+    decay: float = 0.5,
+    **base_kwargs: Any,
+):
+    """Drift-schedule variant: epoch/phase splits + geometric recency."""
+    from repro.stream.segments import SegmentedSelector
+
+    return SegmentedSelector(
+        SELECTORS.create(base, **base_kwargs),
+        cadence=cadence,
+        hazard=hazard,
+        threshold=threshold,
+        drift_rtol=drift_rtol,
+        min_segment=min_segment,
+        split_epochs=True,
+        decay=decay,
+    )

@@ -703,6 +703,15 @@ def _render_stream(result: StreamingAnalysisResult) -> str:
         f"consumed {result.iterations_consumed} of "
         f"{result.epoch_iterations} iterations "
         f"({100.0 * result.fraction_consumed:.1f}% of the epoch) — {status}",
+    ]
+    if result.checks and result.checks[-1].segments_closed:
+        closed = result.checks[-1].segments_closed
+        open_mean = result.checks[-1].open_segment_mean_s
+        parts.append(
+            f"quasi-stationary segments: {closed} closed + 1 open "
+            f"(open-segment mean {open_mean:.6f} s/iteration)"
+        )
+    parts += [
         f"{result.method}: {len(result)} points"
         + (f" (k={result.k})" if result.k is not None else "")
         + f", prefix identification error "

@@ -24,6 +24,15 @@ from repro.stream.identifier import (
     IdentificationSession,
     StreamingIdentifier,
     StreamingRun,
+    sl_mix_drift,
+)
+from repro.stream.segments import (
+    Segment,
+    SegmentSummary,
+    SegmentedResult,
+    SegmentedSelector,
+    StreamSegmenter,
+    segment_frame,
 )
 from repro.stream.spec import StreamSpec
 from repro.stream.stats import StreamingSlStatistics
@@ -32,10 +41,17 @@ __all__ = [
     "ConvergenceCheck",
     "FrameSlice",
     "IdentificationSession",
+    "Segment",
+    "SegmentSummary",
+    "SegmentedResult",
+    "SegmentedSelector",
+    "StreamSegmenter",
     "StreamSpec",
     "StreamingIdentifier",
     "StreamingRun",
     "StreamingSlStatistics",
     "TraceReplayFeed",
     "replay",
+    "segment_frame",
+    "sl_mix_drift",
 ]

@@ -13,10 +13,19 @@ of arriving iterations:
    rest of the stream is never consumed — the paper's profiling-cost
    argument, extended to not even needing the full logged epoch;
 4. a changepoint-style guard (after the online checkpoint tests of
-   Titsias et al.) resets the stability window whenever any already
-   seen SL's running mean runtime drifts by more than ``drift_rtol``,
-   so a distribution shift mid-stream restarts the convergence clock
-   instead of freezing a stale selection.
+   Titsias et al.) resets the stability window whenever the per-SL mix
+   drifts between checks — a seen SL's running mean moving by more than
+   ``drift_rtol``, or appearing/vanishing SLs carrying more than
+   ``drift_rtol`` of the recent mass (:func:`sl_mix_drift`) — so a
+   distribution shift mid-stream restarts the convergence clock instead
+   of freezing a stale selection;
+5. when the selector is segment-aware (``segmented``/``segmented-drift``,
+   :mod:`repro.stream.segments`), the guard hands off to the segmenter:
+   a newly *closed* segment is the drift event (resetting the stability
+   window), and stability is judged on the **open** segment's projected
+   mean and the combined selection — so monotone streams the plain
+   guard refuses can still converge, segment by segment.  Degenerate
+   single-segment streams take the plain path above bit-identically.
 
 Checks land on exact ``cadence`` boundaries regardless of the feed's
 chunk granularity, so the sequence of convergence decisions is
@@ -34,6 +43,7 @@ from repro.core.selection import Selection
 from repro.core.seqpoint import SeqPointResult
 from repro.errors import ConfigurationError
 from repro.stream.feed import FrameSlice
+from repro.stream.segments import SegmentSummary, SegmentedResult
 from repro.stream.stats import StreamingSlStatistics
 from repro.util.stats import percent_error
 
@@ -42,6 +52,7 @@ __all__ = [
     "IdentificationSession",
     "StreamingIdentifier",
     "StreamingRun",
+    "sl_mix_drift",
 ]
 
 
@@ -55,9 +66,16 @@ class ConvergenceCheck:
     projected_mean_iteration_s: float
     #: Consecutive checks (this one included) agreeing so far.
     stable_checks: int
-    #: True when the drift guard reset the stability window here.
+    #: True when the drift guard reset the stability window here (for a
+    #: segment-aware selector: a segment closed here).
     drift_reset: bool
     k: int | None
+    #: Closed segments a segment-aware selector committed so far; 0 for
+    #: plain selectors and degenerate single-segment streams.
+    segments_closed: int = 0
+    #: Projected mean iteration time of the open segment — the value
+    #: stability is judged on when the stream is segmented.
+    open_segment_mean_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -67,6 +85,8 @@ class ConvergenceCheck:
             "stable_checks": self.stable_checks,
             "drift_reset": self.drift_reset,
             "k": self.k,
+            "segments_closed": self.segments_closed,
+            "open_segment_mean_s": self.open_segment_mean_s,
         }
 
 
@@ -85,6 +105,10 @@ class StreamingRun:
     prefix_total_s: float
     #: The accumulator, for callers that keep absorbing or inspecting.
     stats: StreamingSlStatistics = field(repr=False, compare=False)
+    #: Per-segment accounting when the selector was segment-aware and
+    #: detected changepoints; empty otherwise (plain selectors and
+    #: degenerate single-segment streams).
+    segments: tuple[SegmentSummary, ...] = ()
 
     @property
     def method(self) -> str:
@@ -94,10 +118,23 @@ class StreamingRun:
         return len(self.selection)
 
     def project_epoch_time(self, epoch_iterations: int) -> float:
-        """Extrapolate the prefix projection to a full epoch's length."""
+        """Extrapolate the prefix projection to a full epoch's length.
+
+        A segmented prefix is drift-aware: only the *open* (most
+        recent) segment's projected mean prices the unseen tail, so a
+        monotone stream's early cheap iterations do not drag the
+        forecast down.  With a single segment this reduces exactly to
+        the classic whole-prefix linear extrapolation.
+        """
         if epoch_iterations <= 0:
             raise ConfigurationError(
                 f"epoch_iterations must be positive, got {epoch_iterations}"
+            )
+        if self.segments:
+            tail = epoch_iterations - self.iterations_consumed
+            return (
+                self.projected_prefix_total_s
+                + tail * self.segments[-1].mean_iteration_s
             )
         return (
             self.projected_prefix_total_s
@@ -129,6 +166,59 @@ def _points_agree(
         if now_tgt is not None and abs(now_tgt - then_tgt) > sl_rtol * then_tgt:
             return False
     return True
+
+
+def sl_mix_drift(
+    previous_means: dict[int, float],
+    previous_counts: dict[int, int],
+    previous_iterations: int,
+    means: dict[int, float],
+    counts: dict[int, int],
+    iterations: int,
+    drift_rtol: float,
+) -> bool:
+    """Did the per-SL distribution drift between two checks?
+
+    Three signals, compared over the *union* of previous and current
+    SLs (an SL set restricted to ``previous_means`` would be blind to
+    the appearing-SL signature of a monotone SortaGrad stream):
+
+    * a shared SL's running mean moved by more than ``drift_rtol``
+      relatively (a zero previous mean treats any change as drift);
+    * *appearing* SLs account for more than ``drift_rtol`` of the
+      iterations that arrived since the previous check;
+    * *vanishing* SLs accounted for more than ``drift_rtol`` of the
+      previously consumed iterations (impossible for a cumulative
+      accumulator, but sessions accept resumed or rebuilt statistics).
+    """
+    for seq_len, previous_mean in previous_means.items():
+        current = means.get(seq_len)
+        if current is None:
+            continue  # vanished: judged by mass below
+        if previous_mean == 0.0:
+            if current != previous_mean:
+                return True
+            continue
+        if abs(current - previous_mean) > drift_rtol * previous_mean:
+            return True
+    arrived = iterations - previous_iterations
+    if arrived > 0:
+        appearing = sum(
+            count
+            for seq_len, count in counts.items()
+            if seq_len not in previous_means
+        )
+        if appearing > drift_rtol * arrived:
+            return True
+    if previous_iterations > 0:
+        vanished = sum(
+            count
+            for seq_len, count in previous_counts.items()
+            if seq_len not in means
+        )
+        if vanished > drift_rtol * previous_iterations:
+            return True
+    return False
 
 
 def _unwrap(outcome: Any) -> tuple[Selection, int | None, float]:
@@ -240,6 +330,7 @@ class IdentificationSession:
         self.stable_run = 0
         self.previous: ConvergenceCheck | None = None
         self.previous_means: dict[int, float] = {}
+        self.previous_counts: dict[int, int] = {}
         self.outcome = None
         self.converged = False
 
@@ -315,30 +406,62 @@ class IdentificationSession:
         )
         mean_s = projected / consumed
 
+        # A segment-aware selector that committed changepoints reports
+        # them; everything else (plain selectors, degenerate
+        # single-segment streams) stays on the classic path.
+        segments = (
+            self.outcome.segments
+            if isinstance(self.outcome, SegmentedResult)
+            else ()
+        )
+        segments_closed = max(len(segments) - 1, 0)
+        open_mean_s = segments[-1].mean_iteration_s if segments else None
+        # Stability is judged on the open segment's projected mean when
+        # the stream is segmented, on the whole-prefix mean otherwise.
+        stability_mean_s = mean_s if open_mean_s is None else open_mean_s
+
         means = self.stats.mean_times()
+        counts = self.stats.iteration_counts()
         drift_reset = False
         if self.previous is not None:
-            for seq_len, previous_mean in self.previous_means.items():
-                current = means.get(seq_len)
-                if (
-                    current is not None
-                    and abs(current - previous_mean)
-                    > identifier.drift_rtol * previous_mean
-                ):
-                    drift_reset = True
-                    break
+            if segments_closed or self.previous.segments_closed:
+                # Hand off to the segmenter: a newly closed segment IS
+                # the drift event; the per-SL guard would keep firing
+                # forever on the very streams segmentation handles.
+                drift_reset = segments_closed != self.previous.segments_closed
+            else:
+                drift_reset = sl_mix_drift(
+                    self.previous_means,
+                    self.previous_counts,
+                    self.previous.iterations,
+                    means,
+                    counts,
+                    consumed,
+                    identifier.drift_rtol,
+                )
+            previous_mean_s = (
+                self.previous.projected_mean_iteration_s
+                if self.previous.open_segment_mean_s is None
+                else self.previous.open_segment_mean_s
+            )
             stable = (
                 not drift_reset
                 and _points_agree(
                     selected, self.previous.selected, identifier.sl_rtol
                 )
-                and abs(mean_s - self.previous.projected_mean_iteration_s)
-                <= identifier.rtol * self.previous.projected_mean_iteration_s
+                and abs(stability_mean_s - previous_mean_s)
+                <= identifier.rtol * previous_mean_s
             )
-            self.stable_run = self.stable_run + 1 if stable else 1
+            if drift_reset:
+                # Only post-reset agreements count toward patience: the
+                # drifted check itself is not evidence of stability.
+                self.stable_run = 0
+            else:
+                self.stable_run = self.stable_run + 1 if stable else 1
         else:
             self.stable_run = 1
         self.previous_means = means
+        self.previous_counts = counts
 
         check = ConvergenceCheck(
             iterations=consumed,
@@ -347,6 +470,8 @@ class IdentificationSession:
             stable_checks=self.stable_run,
             drift_reset=drift_reset,
             k=k,
+            segments_closed=segments_closed,
+            open_segment_mean_s=open_mean_s,
         )
         self.checks.append(check)
         self.previous = check
@@ -358,9 +483,15 @@ class IdentificationSession:
         if consumed == 0:
             raise ConfigurationError("the feed produced no iterations")
         # A final check when the stream ended between boundaries, so a
-        # short or exhausted feed still yields an up-to-date selection.
+        # short or exhausted feed still yields an up-to-date selection —
+        # but exhaustion never *newly* declares convergence: the stream
+        # merely ended, it did not demonstrate `patience` agreeing
+        # boundary checks.  (A session that already converged never
+        # reaches this branch: converged sessions stop absorbing, so
+        # their last boundary check is still current.)
         if self.outcome is None or self.last_check_at != consumed:
             self._check()
+            self.converged = False
         # Mirror the batch engine's accounting exactly (bit for bit): a
         # SeqPointResult carries its own numbers (actual = the per-SL
         # total sum); plain selections score against the frame total.
@@ -384,4 +515,9 @@ class IdentificationSession:
             projected_prefix_total_s=projected,
             prefix_total_s=actual,
             stats=self.stats,
+            segments=(
+                self.outcome.segments
+                if isinstance(self.outcome, SegmentedResult)
+                else ()
+            ),
         )

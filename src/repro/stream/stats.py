@@ -162,6 +162,10 @@ class StreamingSlStatistics:
             for sl in sorted(self._counts)
         }
 
+    def iteration_counts(self) -> dict[int, int]:
+        """Current iteration count per unique SL (drift-guard input)."""
+        return {sl: self._counts[sl] for sl in sorted(self._counts)}
+
     # -- absorption ---------------------------------------------------
 
     def _pool_profile(self, profile: IterationProfile) -> int:

@@ -237,6 +237,39 @@ class TraceFrame:
             source_records=records,
         )
 
+    def slice(self, start: int, stop: int) -> "TraceFrame":
+        """The sub-frame of iterations ``[start, stop)``.
+
+        Columns are numpy views into this frame and the profile pool is
+        shared, so slicing is O(1); one-off phase times stay with the
+        parent (a slice is a window on the iteration stream, not a
+        smaller run).
+        """
+        if not 0 <= start < stop <= len(self):
+            raise TraceError(
+                f"slice [{start}, {stop}) outside the "
+                f"{len(self)}-iteration frame"
+            )
+        return TraceFrame(
+            model_name=self.model_name,
+            dataset_name=self.dataset_name,
+            config_name=self.config_name,
+            batch_size=self.batch_size,
+            index=self.index[start:stop],
+            epoch=self.epoch[start:stop],
+            seq_len=self.seq_len[start:stop],
+            tgt_len=self.tgt_len[start:stop],
+            time_s=self.time_s[start:stop],
+            profile_id=self.profile_id[start:stop],
+            profiles=self._profiles,
+            source_records=(
+                None
+                if self._source_records is None
+                else self._source_records[start:stop]
+            ),
+            storage=self.storage,
+        )
+
     def with_phases(self, autotune_s: float, eval_s: float) -> "TraceFrame":
         """A frame sharing these columns with different phase totals."""
         return TraceFrame(

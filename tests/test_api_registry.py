@@ -88,7 +88,8 @@ class TestBuiltinEntries:
 
     def test_selectors(self):
         assert SELECTORS.available() == (
-            "frequent", "kmeans", "median", "prior", "seqpoint", "worst"
+            "frequent", "kmeans", "median", "prior", "segmented",
+            "segmented-drift", "seqpoint", "worst",
         )
         selector = SELECTORS.create("seqpoint", error_threshold_pct=0.5)
         assert isinstance(selector, SeqPointSelector)

@@ -4,7 +4,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.seqpoint import SeqPointSelector
 from repro.core.sl_stats import SlStatistics
-from repro.stream import StreamingIdentifier, StreamingSlStatistics, replay
+from repro.stream import (
+    SegmentedSelector,
+    StreamingIdentifier,
+    StreamingSlStatistics,
+    replay,
+    segment_frame,
+    sl_mix_drift,
+)
 from tests.conftest import make_trace
 
 sl_time_pairs = st.lists(
@@ -77,6 +84,149 @@ def test_exhausted_stream_reproduces_batch_selection(pairs, chunk_size):
     ] == [
         (p.seq_len, p.weight, p.record.time_s) for p in batch.selection.points
     ]
+
+
+@st.composite
+def stationary_stream(draw):
+    """N windows that are per-window permutations of one SL pool.
+
+    Every cadence window then has an identical per-SL composition, so
+    the changepoint score is exactly zero — the stream is stationary by
+    construction at the granularity the segmenter looks at.
+    """
+    pool = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=200),
+                st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=6,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    windows = draw(st.integers(min_value=2, max_value=8))
+    pairs = []
+    for _ in range(windows):
+        pairs.extend(draw(st.permutations(pool)))
+    return pairs, len(pool)
+
+
+@given(stationary_stream())
+@settings(max_examples=40)
+def test_segmented_is_the_base_selector_on_stationary_streams(case):
+    pairs, cadence = case
+    frame = make_trace(pairs).frame()
+    assert len(segment_frame(frame, cadence=cadence)) == 1
+    base = SeqPointSelector().select(frame)
+    wrapped = SegmentedSelector(SeqPointSelector(), cadence=cadence).select(
+        frame
+    )
+    assert wrapped.projected_total_s == base.projected_total_s
+    assert wrapped.identification_error_pct == base.identification_error_pct
+    assert [
+        (p.seq_len, p.weight, p.record.time_s)
+        for p in wrapped.selection.points
+    ] == [
+        (p.seq_len, p.weight, p.record.time_s) for p in base.selection.points
+    ]
+
+
+@given(sl_time_pairs, st.integers(min_value=1, max_value=8))
+@settings(max_examples=30)
+def test_segmented_runs_invariant_under_rechunking(pairs, cadence):
+    """Checks, segments, and selections are a pure function of the
+    stream contents — chunk granularity must never show through."""
+    frame = make_trace(pairs).frame()
+    runs = [
+        StreamingIdentifier(
+            SegmentedSelector(
+                SeqPointSelector(), cadence=cadence, min_segment=cadence
+            ),
+            cadence=cadence,
+            patience=10_000,  # consume everything: compare full histories
+        ).run(replay(frame, chunk_size=chunk))
+        for chunk in (1, 7, len(frame))
+    ]
+    baseline = runs[0]
+    for run in runs[1:]:
+        assert [c.to_dict() for c in run.checks] == [
+            c.to_dict() for c in baseline.checks
+        ]
+        assert run.segments == baseline.segments
+        assert [
+            (p.seq_len, p.weight, p.record.time_s)
+            for p in run.selection.points
+        ] == [
+            (p.seq_len, p.weight, p.record.time_s)
+            for p in baseline.selection.points
+        ]
+
+
+sl_state = st.dictionaries(
+    st.integers(min_value=1, max_value=30),
+    st.tuples(
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _split(state):
+    means = {sl: mean for sl, (_, mean) in state.items()}
+    counts = {sl: count for sl, (count, _) in state.items()}
+    return means, counts, sum(counts.values())
+
+
+@given(sl_state)
+@settings(max_examples=40)
+def test_identical_state_never_drifts(state):
+    means, counts, total = _split(state)
+    assert not sl_mix_drift(means, counts, total, means, counts, total, 0.05)
+
+
+@given(sl_state, st.integers(min_value=1, max_value=50))
+@settings(max_examples=40)
+def test_appearing_mass_is_drift(state, arrivals):
+    """New SLs carrying all the arrivals since the last check must trip
+    the guard however small the tolerance window."""
+    means, counts, total = _split(state)
+    new_sl = max(means) + 1
+    now_means = {**means, new_sl: 1.0}
+    now_counts = {**counts, new_sl: arrivals}
+    assert sl_mix_drift(
+        means, counts, total, now_means, now_counts, total + arrivals, 0.05
+    )
+
+
+@given(sl_state)
+@settings(max_examples=40)
+def test_vanishing_mass_is_drift(state):
+    """An SL that held more than drift_rtol of the previous mass and
+    disappears from the statistics must trip the guard."""
+    means, counts, total = _split(state)
+    heaviest = max(counts, key=counts.get)
+    if counts[heaviest] <= 0.05 * total:
+        counts[heaviest] = total  # force it over the tolerance
+        total = sum(counts.values())
+    now_means = {sl: mean for sl, mean in means.items() if sl != heaviest}
+    now_counts = {sl: c for sl, c in counts.items() if sl != heaviest}
+    assert sl_mix_drift(
+        means, counts, total, now_means, now_counts, total, 0.05
+    )
+
+
+@given(sl_state, st.floats(min_value=1e-3, max_value=10.0, allow_nan=False))
+@settings(max_examples=40)
+def test_zero_previous_mean_treats_any_change_as_drift(state, new_mean):
+    means, counts, total = _split(state)
+    some_sl = next(iter(means))
+    means[some_sl] = 0.0
+    moved = {**means, some_sl: new_mean}
+    assert sl_mix_drift(means, counts, total, moved, counts, total, 0.05)
+    assert not sl_mix_drift(means, counts, total, means, counts, total, 0.05)
 
 
 @given(sl_time_pairs)

@@ -105,6 +105,23 @@ class TestConvergence:
         assert run.checks[-1].iterations == len(frame)
         assert len(run.selection) == 4
 
+    def test_exhaustion_check_never_newly_declares_convergence(self):
+        """The forced off-boundary check at exhaustion yields a final
+        selection but must not flip `converged`: the stream ended, it
+        did not demonstrate `patience` agreeing boundary checks."""
+        pairs = (CYCLE * 13)[:50]
+        run = StreamingIdentifier(
+            SeqPointSelector(), cadence=30, patience=2, rtol=0.05
+        ).run(replay(make_trace(pairs).frame()))
+        # Boundary check at 30, forced exhaustion check at 50 — they
+        # agree, so the stability counter reads `patience`, yet the
+        # run still reports unconverged.
+        assert [c.iterations for c in run.checks] == [30, 50]
+        assert run.checks[-1].stable_checks == 2
+        assert not run.converged
+        assert run.iterations_consumed == 50
+        assert len(run.selection) == 4
+
     def test_stream_shorter_than_cadence_still_selects(self):
         frame = periodic_trace(2).frame()  # 8 iterations
         run = StreamingIdentifier(
@@ -173,7 +190,48 @@ class TestDriftGuard:
         resets = [check for check in run.checks if check.drift_reset]
         assert resets, "the 2x runtime shift must trip the drift guard"
         assert resets[0].iterations == 140  # first check past the shift
-        assert resets[0].stable_checks == 1
+        # The drifted check itself is no evidence of stability: the
+        # window restarts empty, not at 1.
+        assert resets[0].stable_checks == 0
+
+    def test_appearing_sls_trip_the_guard(self):
+        """SLs the previous check never saw count as drift (the guard
+        compares the union of SL sets, not just the previously seen)."""
+        # First 120 iterations cycle SLs 10..40; then brand-new SLs
+        # 50..80 arrive with the SAME per-SL runtimes, so a guard that
+        # only rechecks previously-seen means would never fire.
+        pairs = CYCLE * 30 + [(50, 0.1), (60, 0.2), (70, 0.3), (80, 0.4)] * 30
+        run = StreamingIdentifier(
+            SeqPointSelector(),
+            cadence=20,
+            patience=100,
+            drift_rtol=0.05,
+        ).run(replay(make_trace(pairs).frame()))
+        resets = [check for check in run.checks if check.drift_reset]
+        assert resets, "appearing SLs must trip the union drift guard"
+        assert resets[0].iterations == 140  # first check past the switch
+        assert resets[0].stable_checks == 0
+
+    def test_reset_restarts_the_patience_clock_in_full(self):
+        """After a reset, convergence needs `patience` agreements that
+        all POST-date the drifted check — it must not count itself."""
+        # Stationary cycle, then disjoint SLs with the same runtimes.
+        # The warm-up defers the first check to 120 (pre-switch), the
+        # appearing SLs reset at 140, and every later check agrees.
+        pairs = CYCLE * 30 + [(50, 0.1), (60, 0.2), (70, 0.3), (80, 0.4)] * 25
+        run = StreamingIdentifier(
+            SeqPointSelector(),
+            cadence=20,
+            patience=3,
+            drift_rtol=0.05,
+            min_iterations=110,
+        ).run(replay(make_trace(pairs).frame()))
+        assert [c.iterations for c in run.checks if c.drift_reset] == [140]
+        assert run.converged
+        # Agreements at 160, 180, 200 — were the drifted check counted
+        # as its own first agreement, 180 would have sufficed.
+        assert run.iterations_consumed == 200
+        assert [c.stable_checks for c in run.checks] == [1, 0, 1, 2, 3]
 
     def test_stationary_stream_never_trips_the_guard(self):
         frame = periodic_trace(60).frame()
